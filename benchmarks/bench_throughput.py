@@ -1,0 +1,25 @@
+"""Simulator throughput: a genuine timing benchmark (pytest-benchmark).
+
+Measures simulated instructions per second of wall-clock time for the
+4-cluster baseline, the heterogeneous Model VII, and the 16-cluster
+system.  Useful for tracking performance regressions in the simulator
+itself.
+"""
+
+import pytest
+
+from repro.core.models import model
+from repro.core.simulation import build_processor
+
+
+@pytest.mark.parametrize("model_name,clusters", [
+    ("I", 4), ("VII", 4), ("I", 16),
+])
+def test_simulation_throughput(benchmark, model_name, clusters):
+    def run_window():
+        cpu = build_processor(model(model_name).config, "gzip",
+                              num_clusters=clusters)
+        return cpu.run(2000, warmup=0)
+
+    stats = benchmark.pedantic(run_window, rounds=3, iterations=1)
+    assert stats.committed >= 2000

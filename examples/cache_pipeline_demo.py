@@ -1,0 +1,120 @@
+"""The accelerated cache pipeline in isolation (Section 4 of the paper).
+
+Drives the LSQ + cache pipeline directly -- no full processor -- to show
+how sending LS address bits ahead on L-Wires overlaps RAM access with
+the MS-bit transfer, and what LS-bit aliasing (false dependences) costs.
+
+Run:  python examples/cache_pipeline_demo.py
+"""
+
+import random
+
+from repro.core.instruction import DynInstr
+from repro.memory import CachePipeline, LoadStoreQueue, MemoryHierarchy
+from repro.workloads.trace import InstructionRecord, OpClass
+
+#: L-Wire vs. B-Wire crossbar latencies (Table 2).
+L_LATENCY, B_LATENCY = 1, 2
+
+
+def make_load(seq, addr):
+    rec = InstructionRecord(pc=0x400000 + 4 * seq, op=OpClass.LOAD,
+                            dest=5, srcs=(1,), addr=addr)
+    return DynInstr(seq, rec)
+
+
+def run_pipeline(partial: bool, addresses, issue_gap: int = 2):
+    """Feed a stream of loads; returns average load-ready latency."""
+    hierarchy = MemoryHierarchy()
+    pipeline = CachePipeline(hierarchy)
+    done = {}
+    lsq = LoadStoreQueue(pipeline, size=64, partial_enabled=partial,
+                         load_done=lambda i, c, lvl: done.__setitem__(i.seq, c))
+    # Retire finished loads so the LSQ never fills in this open loop.
+    inner_done = lsq.load_done
+
+    def _done_and_release(instr, cycle, level):
+        inner_done(instr, cycle, level)
+        lsq.release(instr)
+
+    lsq.load_done = _done_and_release
+    # Warm the L1 so the comparison isolates pipeline timing.
+    for addr in addresses:
+        hierarchy.l1.access(addr)
+        hierarchy.tlb.access(addr)
+
+    issue_cycles = {}
+    for seq, addr in enumerate(addresses):
+        instr = make_load(seq, addr)
+        lsq.allocate(instr)
+        issued = seq * issue_gap
+        issue_cycles[seq] = issued
+        if partial:
+            # LS bits race ahead on L-Wires; MS bits follow on B-Wires.
+            lsq.on_partial_address(instr, addr, issued + L_LATENCY)
+            lsq.on_full_address(instr, addr, issued + B_LATENCY + 4)
+        else:
+            lsq.on_full_address(instr, addr, issued + B_LATENCY + 4)
+    latencies = [done[s] - issue_cycles[s] for s in done]
+    return sum(latencies) / len(latencies), lsq
+
+
+def main() -> None:
+    rng = random.Random(42)
+    addresses = [0x1000_0000 + 8 * rng.randrange(4096) for _ in range(400)]
+
+    base_lat, _ = run_pipeline(partial=False, addresses=addresses)
+    fast_lat, lsq = run_pipeline(partial=True, addresses=addresses)
+
+    print("Accelerated cache pipeline (loads only, warm L1):")
+    print(f"  baseline pipeline:     average load-ready latency "
+          f"{base_lat:5.1f} cycles")
+    print(f"  partial-address (L-Wire) pipeline: {fast_lat:5.1f} cycles")
+    print(f"  saved per load:        {base_lat - fast_lat:5.1f} cycles")
+    print(f"  early RAM starts:      {lsq.early_ram_starts} of "
+          f"{len(addresses)} loads")
+
+    # Now with interleaved stores to show disambiguation and aliasing.
+    print("\nWith interleaved stores (LS-bit disambiguation):")
+    hierarchy = MemoryHierarchy()
+    pipeline = CachePipeline(hierarchy)
+    # Sized to hold the whole demo stream (a real pipeline releases
+    # entries at commit; see repro.core.processor).
+    lsq = LoadStoreQueue(pipeline, size=512, partial_enabled=True,
+                         load_done=lambda i, c, lvl: None)
+    window = []
+    seq = 0
+    for i in range(300):
+        # A realistic address spread; shrinking this region raises the
+        # LS-bit alias rate (only 8 word-address bits are compared).
+        addr = 0x1000_0000 + 8 * rng.randrange(65536)
+        if i % 3 == 0:
+            rec = InstructionRecord(pc=0x500000 + 4 * seq,
+                                    op=OpClass.STORE, srcs=(1, 2),
+                                    addr=addr)
+            st = DynInstr(seq, rec)
+            lsq.allocate(st)
+            lsq.on_partial_address(st, addr, 2 * i + 1)
+            lsq.on_full_address(st, addr, 2 * i + 4)
+            lsq.on_store_data(st, 2 * i + 4)
+            window.append(st)
+        else:
+            ld = make_load(seq, addr)
+            lsq.allocate(ld)
+            lsq.on_partial_address(ld, addr, 2 * i + 1)
+            lsq.on_full_address(ld, addr, 2 * i + 4)
+            window.append(ld)
+        seq += 1
+        # Retire old entries, as commit would: a real LSQ holds a few
+        # dozen live stores, which bounds the alias probability.
+        while len(window) > 24:
+            lsq.release(window.pop(0))
+
+    print(f"  loads disambiguated:   {lsq.loads_disambiguated}")
+    print(f"  store->load forwards:  {lsq.true_forwards}")
+    print(f"  false LS-bit aliases:  {lsq.false_dependences} "
+          f"({lsq.false_dependence_rate:.1%}; paper bound: <9%)")
+
+
+if __name__ == "__main__":
+    main()

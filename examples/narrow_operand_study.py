@@ -1,0 +1,76 @@
+"""Narrow bit-width operands: detection, prediction, and L-Wire payoff.
+
+Walks a synthetic benchmark's register traffic, trains the paper's
+8K-counter width predictor, and shows the claims of Section 4/5.3:
+~14% of register traffic is narrow, the predictor covers ~95% of it,
+and integer-heavy benchmarks benefit more from narrow L-Wire transfers.
+
+Run:  python examples/narrow_operand_study.py
+"""
+
+from repro import model, simulate_benchmark
+from repro.harness import render_table
+from repro.operands import NarrowWidthPredictor
+from repro.workloads import TraceGenerator, profile
+
+INSTRUCTIONS = 5000
+WARMUP = 1500
+
+
+def offline_predictor_study(benchmark: str) -> tuple:
+    """Train a width predictor on the raw stream (no timing)."""
+    gen = TraceGenerator(profile(benchmark), seed=42)
+    predictor = NarrowWidthPredictor()
+    narrow = total = 0
+    for rec in gen.stream(30000):
+        if rec.writes_int_register:
+            total += 1
+            narrow += rec.is_narrow
+            predictor.predict_and_train(rec.pc, rec.is_narrow)
+    return narrow / max(1, total), predictor
+
+
+def main() -> None:
+    rows = []
+    for bench in ("gzip", "crafty", "parser", "swim", "applu"):
+        frac, predictor = offline_predictor_study(bench)
+        rows.append([
+            bench, f"{frac:.1%}",
+            f"{predictor.coverage:.1%}",
+            f"{predictor.false_narrow_rate:.1%}",
+        ])
+    print(render_table(
+        ["Benchmark", "narrow int results", "predictor coverage",
+         "false narrow"],
+        rows,
+        title="Width-predictor study (paper: 95% coverage, 2% false "
+              "narrows; ~14% of register traffic narrow):",
+    ))
+
+    print("\nTiming impact of the narrow-operand mechanism "
+          "(Model VII vs Model I):\n")
+    rows = []
+    for bench in ("gzip", "swim"):
+        base = simulate_benchmark(model("I").config, bench,
+                                  instructions=INSTRUCTIONS, warmup=WARMUP)
+        het = simulate_benchmark(model("VII").config, bench,
+                                 instructions=INSTRUCTIONS, warmup=WARMUP)
+        extra = het.extra_stats()
+        share = (extra["operand_narrow"]
+                 / max(1.0, extra["operand_transfers"]))
+        rows.append([
+            bench, f"{share:.1%}",
+            f"{base.ipc:.3f}", f"{het.ipc:.3f}",
+            f"{(het.ipc / base.ipc - 1) * 100:+.1f}%",
+        ])
+    print(render_table(
+        ["Benchmark", "narrow reg traffic", "IPC (I)", "IPC (VII)",
+         "gain"],
+        rows,
+    ))
+    print("\nInteger codes (gzip) carry more narrow traffic than FP "
+          "codes (swim), as the paper notes.")
+
+
+if __name__ == "__main__":
+    main()

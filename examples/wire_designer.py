@@ -1,0 +1,87 @@
+"""Explore the wire design space of Section 2 with the RC models.
+
+Shows the three knobs the paper builds its heterogeneous interconnect
+from: wire width/spacing (latency vs. bandwidth), repeater size/spacing
+(latency vs. energy), and transmission lines (the extreme point).
+
+Run:  python examples/wire_designer.py
+"""
+
+from repro.harness import render_table
+from repro.wires import (
+    TransmissionLineSpec,
+    minimum_width_geometry,
+    optimal_repeater_config,
+    power_optimal_repeater_config,
+    repeated_wire_delay,
+    repeated_wire_dynamic_energy,
+    transmission_line_speedup,
+)
+
+LENGTH = 10e-3  # a 10 mm global wire
+TECH_NM = 45.0
+
+
+def main() -> None:
+    base = minimum_width_geometry(TECH_NM)
+    base_cfg = optimal_repeater_config(base)
+    base_delay = repeated_wire_delay(base, base_cfg, LENGTH)
+    base_energy = repeated_wire_dynamic_energy(base, base_cfg, LENGTH)
+
+    print(f"Reference: minimum-pitch wire at {TECH_NM:.0f} nm, "
+          f"{LENGTH * 1e3:.0f} mm, delay-optimal repeaters\n")
+
+    # Knob 1: width and spacing.
+    rows = []
+    for factor in (1, 2, 4, 8):
+        geom = base.scaled(width_factor=factor, spacing_factor=factor)
+        cfg = optimal_repeater_config(geom)
+        delay = repeated_wire_delay(geom, cfg, LENGTH)
+        energy = repeated_wire_dynamic_energy(geom, cfg, LENGTH)
+        tracks = 1.0 / factor
+        rows.append([
+            f"{factor}x", f"{delay / base_delay:.2f}",
+            f"{energy / base_energy:.2f}", f"{tracks:.3f}",
+        ])
+    print(render_table(
+        ["Width/spacing", "Rel delay", "Rel energy", "Rel wires/area"],
+        rows,
+        title="Knob 1 -- wider wires are faster but fewer fit "
+              "(L-Wires use 8x):",
+    ))
+
+    # Knob 2: repeater sizing.
+    rows = []
+    for penalty in (1.0, 1.1, 1.2, 1.5, 2.0):
+        cfg = power_optimal_repeater_config(base, delay_penalty=penalty)
+        delay = repeated_wire_delay(base, cfg, LENGTH)
+        energy = repeated_wire_dynamic_energy(base, cfg, LENGTH)
+        rows.append([
+            f"{penalty:.1f}x", f"{delay / base_delay:.2f}",
+            f"{energy / base_energy:.2f}",
+            f"{cfg.size / base_cfg.size:.2f}",
+            f"{cfg.spacing / base_cfg.spacing:.2f}",
+        ])
+    print("\n" + render_table(
+        ["Delay budget", "Rel delay", "Rel energy", "Rel size",
+         "Rel spacing"],
+        rows,
+        title="Knob 2 -- smaller, sparser repeaters trade delay for "
+              "energy (PW-Wires use the 1.2x point):",
+    ))
+
+    # Knob 3: transmission lines.
+    wide = base.scaled(8.0, 8.0)
+    wide_cfg = optimal_repeater_config(wide)
+    wide_delay = repeated_wire_delay(wide, wide_cfg, LENGTH)
+    line = TransmissionLineSpec()
+    speedup = transmission_line_speedup(wide_delay, line, LENGTH)
+    print(f"\nKnob 3 -- transmission line vs. the 8x-wide RC wire: "
+          f"{speedup:.1f}x faster")
+    print(f"  (ripple velocity {line.propagation_velocity() / 2.998e8:.2f}c;"
+          f" the paper restricts evaluation to RC L-Wires and treats"
+          f" transmission lines as future work)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment has no `wheel` package, so PEP 517 editable installs
+(`pip install -e .` via pyproject.toml) cannot build; this shim lets
+`pip install -e . --no-use-pep517 --no-build-isolation` work offline.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

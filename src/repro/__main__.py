@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Regenerates the paper's tables and figures, runs individual simulations,
+and lists the available models/benchmarks.  All experiment commands go
+through the cached runner, so repeated invocations are cheap.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.models import MODEL_NAMES, all_models, model
+from .core.simulation import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_WARMUP,
+    simulate_benchmark,
+)
+from .harness import (
+    ExperimentRunner,
+    render_claims,
+    render_figure3,
+    render_table,
+    render_table3,
+    render_table4,
+    run_claims,
+    run_figure3,
+    run_table3,
+    run_table4,
+)
+from .wires import table2_rows
+from .workloads.spec2k import BENCHMARK_NAMES, PROFILES
+
+
+def _add_window_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--instructions", type=int, default=DEFAULT_INSTRUCTIONS,
+        help="measured instructions per benchmark",
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=DEFAULT_WARMUP,
+        help="warmup instructions per benchmark",
+    )
+    parser.add_argument(
+        "--benchmarks", nargs="*", default=None, metavar="NAME",
+        help="benchmark subset (default: all 23)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Microarchitectural Wire Management "
+                    "for Performance and Power in Partitioned "
+                    "Architectures' (HPCA 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the Table 3/4 interconnect models")
+    sub.add_parser("benchmarks", help="list the 23 workload profiles")
+    sub.add_parser("table2", help="print Table 2 (wire parameters)")
+
+    for name, desc in (
+        ("figure3", "regenerate Figure 3 (per-benchmark IPCs)"),
+        ("table3", "regenerate Table 3 (4-cluster models)"),
+        ("table4", "regenerate Table 4 (16-cluster models)"),
+        ("claims", "regenerate the prose claims of Sections 1/4/5.3"),
+    ):
+        p = sub.add_parser(name, help=desc)
+        _add_window_args(p)
+
+    p = sub.add_parser("run", help="simulate one benchmark on one model")
+    p.add_argument("--model", default="I", choices=MODEL_NAMES)
+    p.add_argument("--benchmark", default="gzip")
+    p.add_argument("--clusters", type=int, default=4)
+    p.add_argument("--latency-scale", type=float, default=1.0)
+    _add_window_args(p)
+    return parser
+
+
+def _cmd_models() -> str:
+    rows = [
+        [m.name, m.description, f"{m.relative_metal_area():.1f}"]
+        for m in all_models()
+    ]
+    return render_table(["Model", "Link composition", "Rel metal area"],
+                        rows, title="Interconnect models (Tables 3-4):")
+
+
+def _cmd_benchmarks() -> str:
+    rows = [
+        [name, "fp" if PROFILES[name].fp_frac > 0 else "int",
+         f"{PROFILES[name].working_set_kb} KB"]
+        for name in BENCHMARK_NAMES
+    ]
+    return render_table(["Benchmark", "Kind", "Working set"], rows,
+                        title="Synthetic SPEC2k-like workloads:")
+
+
+def _cmd_table2() -> str:
+    rows = [
+        [f"{r.wire_class.value}-Wires", f"{r.relative_delay:.1f}",
+         r.crossbar_latency, r.ring_hop_latency,
+         f"{r.relative_leakage:.2f}", f"{r.relative_dynamic:.2f}"]
+        for r in table2_rows()
+    ]
+    return render_table(
+        ["Wire", "Rel delay", "Crossbar", "Ring hop", "Rel leakage",
+         "Rel dynamic"],
+        rows, title="Table 2: wire implementations",
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    run = simulate_benchmark(
+        model(args.model).config, args.benchmark,
+        instructions=args.instructions, warmup=args.warmup,
+        num_clusters=args.clusters, latency_scale=args.latency_scale,
+    )
+    lines = [
+        f"model {args.model} ({model(args.model).description}), "
+        f"{args.clusters} clusters, benchmark {args.benchmark}",
+        f"IPC {run.ipc:.3f}  ({run.instructions} instructions, "
+        f"{run.cycles} cycles)",
+        f"interconnect dynamic energy (rel units) "
+        f"{run.interconnect_dynamic:.0f}",
+    ]
+    extra = run.extra_stats()
+    lines.append(
+        f"redirects {extra['redirects']:.0f}, "
+        f"false LS-bit deps {extra['false_dependences']:.0f}, "
+        f"narrow coverage {extra['narrow_coverage']:.1%}"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    command = args.command
+    if command == "models":
+        print(_cmd_models())
+        return 0
+    if command == "benchmarks":
+        print(_cmd_benchmarks())
+        return 0
+    if command == "table2":
+        print(_cmd_table2())
+        return 0
+    if command == "run":
+        print(_cmd_run(args))
+        return 0
+
+    runner = ExperimentRunner()
+    kwargs = dict(benchmarks=args.benchmarks,
+                  instructions=args.instructions, warmup=args.warmup)
+    if command == "figure3":
+        print(render_figure3(run_figure3(runner, **kwargs)))
+    elif command == "table3":
+        print(render_table3(run_table3(runner, **kwargs)))
+    elif command == "table4":
+        print(render_table4(run_table4(runner, **kwargs)))
+    elif command == "claims":
+        print(render_claims(run_claims(runner, **kwargs)))
+    else:  # pragma: no cover - argparse guards this
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `python -m repro models | head`
+        sys.exit(0)

@@ -1,0 +1,15 @@
+"""Cluster execution resources, steering, and criticality prediction."""
+
+from .cluster import DEFAULT_FU_COUNTS, FU_POOL, Cluster, uses_fp_resources
+from .criticality import CriticalityPredictor
+from .steering import SteeringHeuristic, SteeringWeights
+
+__all__ = [
+    "DEFAULT_FU_COUNTS",
+    "FU_POOL",
+    "Cluster",
+    "uses_fp_resources",
+    "CriticalityPredictor",
+    "SteeringHeuristic",
+    "SteeringWeights",
+]

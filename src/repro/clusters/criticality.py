@@ -1,0 +1,56 @@
+"""Criticality prediction for steering (after Tune et al., HPCA-7).
+
+The steering heuristic gives extra weight to the cluster producing the
+operand *predicted to be on the critical path* of the new instruction.
+We learn criticality per producer PC: whenever a multi-operand
+instruction issues, the producer whose value arrived last gets its
+counter bumped, the others decay.  A producer predicted critical is one
+whose counter is saturated-high.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+
+class CriticalityPredictor:
+    """PC-indexed 2-bit criticality counters."""
+
+    def __init__(self, size: int = 8192, threshold: int = 2) -> None:
+        if size < 1 or size & (size - 1):
+            raise ValueError("size must be a positive power of two")
+        if not 0 <= threshold <= 3:
+            raise ValueError("threshold must fit a 2-bit counter")
+        self._mask = size - 1
+        self._table = [0] * size
+        self.threshold = threshold
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def is_critical(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= self.threshold
+
+    def pick_critical(self, producer_pcs: Sequence[int]) -> Optional[int]:
+        """Index of the producer predicted most critical, or None when no
+        producer stands out."""
+        best: Optional[Tuple[int, int]] = None
+        for i, pc in enumerate(producer_pcs):
+            counter = self._table[self._index(pc)]
+            if counter >= self.threshold and (
+                best is None or counter > best[1]
+            ):
+                best = (i, counter)
+        return best[0] if best is not None else None
+
+    def train(self, last_arrival_pc: int,
+              other_pcs: Sequence[int]) -> None:
+        """The operand from ``last_arrival_pc`` arrived last: it was the
+        critical one this time."""
+        idx = self._index(last_arrival_pc)
+        if self._table[idx] < 3:
+            self._table[idx] += 1
+        for pc in other_pcs:
+            idx = self._index(pc)
+            if self._table[idx] > 0:
+                self._table[idx] -= 1

@@ -1,0 +1,152 @@
+"""Dynamic instruction steering (Section 4, "Baseline Partitioned
+Architecture").
+
+While dispatching, the heuristic assigns each cluster a weight built from:
+
+* data dependences -- clusters producing the instruction's inputs;
+* criticality -- extra weight for the producer of the predicted-critical
+  operand;
+* load balance -- clusters with many empty issue-queue entries;
+* cache proximity -- for loads and stores, clusters close to the
+  centralized data cache.
+
+The instruction goes to the heaviest cluster; if that cluster has no free
+register or issue-queue entry, to the nearest cluster that has both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.instruction import DynInstr
+from ..interconnect.topology import CACHE_NODE, Topology, cluster_node
+from .cluster import Cluster
+from .criticality import CriticalityPredictor
+
+
+@dataclass(frozen=True)
+class SteeringWeights:
+    """Relative importance of the steering criteria."""
+
+    dependence: float = 2.0
+    critical_bonus: float = 2.0
+    load_balance: float = 1.5
+    cache_proximity: float = 1.5
+
+
+class SteeringHeuristic:
+    """Weight-based cluster assignment."""
+
+    def __init__(self, clusters: Sequence[Cluster], topology: Topology,
+                 weights: SteeringWeights | None = None,
+                 criticality: CriticalityPredictor | None = None) -> None:
+        if not clusters:
+            raise ValueError("need at least one cluster")
+        self.clusters = list(clusters)
+        self.weights = weights or SteeringWeights()
+        self.criticality = criticality or CriticalityPredictor()
+        n = len(self.clusters)
+        # Distance proxies from the topology: link-lengths spanned.
+        self._cache_distance = [
+            topology.path(cluster_node(i), CACHE_NODE).energy_weight
+            for i in range(n)
+        ]
+        self._cluster_distance = [
+            [
+                0 if i == j else topology.path(
+                    cluster_node(i), cluster_node(j)
+                ).energy_weight
+                for j in range(n)
+            ]
+            for i in range(n)
+        ]
+        # Affinity of placing a consumer in cluster j to a producer in i:
+        # 2.0 for the same cluster (no communication), 1.0 within one
+        # link-length, falling off with distance.  Keeps dependence
+        # chains inside a crossbar group on hierarchical topologies.
+        self._affinity = [
+            [
+                2.0 if i == j else 1.0 / self._cluster_distance[i][j]
+                for j in range(n)
+            ]
+            for i in range(n)
+        ]
+        min_cache = min(self._cache_distance)
+        self._cache_affinity = [
+            min_cache / d for d in self._cache_distance
+        ]
+        self.steered = 0
+        self.overflowed = 0
+
+    def choose(self, instr: DynInstr,
+               producers: Sequence[Tuple[int, DynInstr]]) -> Optional[Cluster]:
+        """Pick a cluster for ``instr``; None when every cluster is full.
+
+        ``producers`` are (source register, in-flight producer) pairs for
+        the instruction's not-yet-architected inputs.
+        """
+        w = self.weights
+        scores = [0.0] * len(self.clusters)
+
+        for _, producer in producers:
+            if 0 <= producer.cluster < len(scores):
+                affinity = self._affinity[producer.cluster]
+                for c in range(len(scores)):
+                    scores[c] += w.dependence * affinity[c]
+
+        if len(producers) > 1:
+            pcs = [p.rec.pc for _, p in producers]
+            critical = self.criticality.pick_critical(pcs)
+            if critical is not None:
+                producer = producers[critical][1]
+                if 0 <= producer.cluster < len(scores):
+                    affinity = self._affinity[producer.cluster]
+                    for c in range(len(scores)):
+                        scores[c] += w.critical_bonus * affinity[c]
+
+        op = instr.op
+        for cluster in self.clusters:
+            share = cluster.free_iq_entries(op) / cluster.iq_size
+            scores[cluster.index] += w.load_balance * share
+
+        if op.is_memory:
+            for cluster in self.clusters:
+                proximity = self._cache_affinity[cluster.index]
+                scores[cluster.index] += w.cache_proximity * proximity
+
+        best = self._argmax(scores, op)
+        has_dest = instr.rec.dest >= 0
+        chosen = self.clusters[best]
+        if chosen.can_accept(op, has_dest):
+            self.steered += 1
+            return chosen
+        fallback = self._nearest_with_room(best, op, has_dest)
+        if fallback is not None:
+            self.overflowed += 1
+        return fallback
+
+    def _argmax(self, scores: List[float], op) -> int:
+        best = 0
+        best_key = None
+        for i, score in enumerate(scores):
+            key = (score, self.clusters[i].free_iq_entries(op), -i)
+            if best_key is None or key > best_key:
+                best, best_key = i, key
+        return best
+
+    def _nearest_with_room(self, origin: int, op,
+                           has_dest: bool) -> Optional[Cluster]:
+        order = sorted(
+            range(len(self.clusters)),
+            key=lambda j: (self._cluster_distance[origin][j], j),
+        )
+        for j in order:
+            cluster = self.clusters[j]
+            if cluster.can_accept(op, has_dest):
+                return cluster
+        return None
+
+    def train_criticality(self, last_pc: int,
+                          other_pcs: Sequence[int]) -> None:
+        self.criticality.train(last_pc, other_pcs)

@@ -1,0 +1,136 @@
+"""Performance/energy metrics and the paper's Table 3/4 normalization.
+
+The tables normalize everything against Model I:
+
+* *Relative IPC* -- arithmetic mean of per-benchmark IPCs ("a workload
+  where every program executes for an equal number of cycles").
+* *Relative interconnect dynamic energy* -- bits moved, weighted by wire
+  class (fixed instruction count, so no cycle normalization).
+* *Relative interconnect leakage* -- wires present x cycles executed.
+* *Relative processor energy* -- interconnect energy contributes a
+  fraction ``f`` (10% or 20%) of total chip energy in Model I, with chip
+  leakage:dynamic = 3:7; the non-interconnect remainder is constant.
+* *ED^2* -- total processor energy times the square of execution cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Chip-wide (and interconnect-internal) dynamic share of energy.
+DYNAMIC_SHARE = 0.7
+#: Chip-wide leakage share of energy.
+LEAKAGE_SHARE = 0.3
+
+
+@dataclass(frozen=True)
+class BenchmarkRun:
+    """Measured quantities of one benchmark under one model."""
+
+    benchmark: str
+    instructions: int
+    cycles: int
+    interconnect_dynamic: float
+    interconnect_leakage: float
+    extra: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.instructions < 1 or self.cycles < 1:
+            raise ValueError("runs must execute instructions and cycles")
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles
+
+    def extra_stats(self) -> Dict[str, float]:
+        return dict(self.extra)
+
+
+@dataclass(frozen=True)
+class ModelResult:
+    """All benchmark runs of one interconnect model."""
+
+    model: str
+    runs: Tuple[BenchmarkRun, ...]
+
+    def __post_init__(self) -> None:
+        if not self.runs:
+            raise ValueError("a model result needs at least one run")
+
+    @property
+    def am_ipc(self) -> float:
+        """Arithmetic mean of IPCs -- the paper's performance metric."""
+        return sum(r.ipc for r in self.runs) / len(self.runs)
+
+    @property
+    def total_dynamic(self) -> float:
+        return sum(r.interconnect_dynamic for r in self.runs)
+
+    @property
+    def total_leakage(self) -> float:
+        return sum(r.interconnect_leakage for r in self.runs)
+
+    def run_for(self, benchmark: str) -> BenchmarkRun:
+        for run in self.runs:
+            if run.benchmark == benchmark:
+                return run
+        raise KeyError(benchmark)
+
+
+@dataclass(frozen=True)
+class RelativeMetrics:
+    """One row of Table 3/4, normalized against the baseline model."""
+
+    model: str
+    description: str
+    relative_metal_area: float
+    am_ipc: float
+    relative_dynamic: float
+    relative_leakage: float
+    relative_cycles: float
+
+    def processor_energy(self, interconnect_fraction: float) -> float:
+        """Relative total processor energy (Model I = 100).
+
+        ``interconnect_fraction`` is the share of chip energy the
+        interconnect contributes in Model I (the tables use 0.10/0.20).
+        """
+        f = _check_fraction(interconnect_fraction)
+        interconnect = 100.0 * f * (
+            DYNAMIC_SHARE * self.relative_dynamic
+            + LEAKAGE_SHARE * self.relative_leakage
+        )
+        rest = 100.0 * (1.0 - f)
+        return rest + interconnect
+
+    def ed2(self, interconnect_fraction: float) -> float:
+        """Relative energy-delay-squared (Model I = 100)."""
+        energy = self.processor_energy(interconnect_fraction)
+        return energy * self.relative_cycles ** 2
+
+
+def relative_metrics(result: ModelResult, baseline: ModelResult,
+                     description: str = "",
+                     relative_metal_area: float = 1.0) -> RelativeMetrics:
+    """Normalize a model's runs against the baseline, table style."""
+    if {r.benchmark for r in result.runs} != {
+        r.benchmark for r in baseline.runs
+    }:
+        raise ValueError("model and baseline must cover the same benchmarks")
+    rel_cycles = baseline.am_ipc / result.am_ipc
+    return RelativeMetrics(
+        model=result.model,
+        description=description,
+        relative_metal_area=relative_metal_area,
+        am_ipc=result.am_ipc,
+        relative_dynamic=result.total_dynamic / baseline.total_dynamic,
+        relative_leakage=result.total_leakage / baseline.total_leakage,
+        relative_cycles=rel_cycles,
+    )
+
+
+def _check_fraction(fraction: float) -> float:
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("interconnect fraction must be in (0, 1)")
+    return fraction

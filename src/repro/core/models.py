@@ -1,0 +1,93 @@
+"""The ten interconnect models of the paper's Tables 3 and 4.
+
+Each model fixes the composition of every link (wire counts are
+bidirectional totals, exactly as the tables quote them):
+
+=========  ==============================  ===========
+Model      Link composition                Metal area
+=========  ==============================  ===========
+I          144 B                           1.0
+II         288 PW                          1.0
+III        144 PW + 36 L                   1.5
+IV         288 B                           2.0
+V          144 B + 288 PW                  2.0
+VI         288 PW + 36 L                   2.0
+VII        144 B + 36 L                    2.0
+VIII       432 B                           3.0
+IX         288 B + 36 L                    3.0
+X          144 B + 288 PW + 36 L           3.0
+=========  ==============================  ===========
+
+The metal-area column is *derived* from the per-wire area factors of
+Table 2 (B = 2x, L = 8x a minimum-pitch track) and reproduces the
+paper's numbers exactly -- see ``tests/core/test_models.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..wires import WireClass
+from .config import InterconnectConfig
+
+#: Roman numerals in table order.
+MODEL_NAMES: Tuple[str, ...] = (
+    "I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X",
+)
+
+_MODEL_WIRES: Dict[str, Dict[WireClass, int]] = {
+    "I": {WireClass.B: 144},
+    "II": {WireClass.PW: 288},
+    "III": {WireClass.PW: 144, WireClass.L: 36},
+    "IV": {WireClass.B: 288},
+    "V": {WireClass.B: 144, WireClass.PW: 288},
+    "VI": {WireClass.PW: 288, WireClass.L: 36},
+    "VII": {WireClass.B: 144, WireClass.L: 36},
+    "VIII": {WireClass.B: 432},
+    "IX": {WireClass.B: 288, WireClass.L: 36},
+    "X": {WireClass.B: 144, WireClass.PW: 288, WireClass.L: 36},
+}
+
+#: The paper's "Relative Metal Area" column, for cross-checking.
+PAPER_METAL_AREA: Dict[str, float] = {
+    "I": 1.0, "II": 1.0, "III": 1.5, "IV": 2.0, "V": 2.0,
+    "VI": 2.0, "VII": 2.0, "VIII": 3.0, "IX": 3.0, "X": 3.0,
+}
+
+
+@dataclass(frozen=True)
+class InterconnectModel:
+    """One row of Table 3/4: a named link composition."""
+
+    name: str
+    config: InterconnectConfig
+
+    @property
+    def description(self) -> str:
+        return self.config.describe()
+
+    def relative_metal_area(self) -> float:
+        """Metal area relative to Model I, derived from Table 2's
+        per-wire area factors."""
+        own = self.config.build_composition().relative_metal_area()
+        base = model("I").config.build_composition().relative_metal_area()
+        return own / base
+
+
+def model(name: str) -> InterconnectModel:
+    """Look up a model by Roman numeral ("I" .. "X")."""
+    try:
+        wires = _MODEL_WIRES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; choose from {MODEL_NAMES}"
+        ) from None
+    return InterconnectModel(
+        name=name, config=InterconnectConfig(wires=dict(wires))
+    )
+
+
+def all_models() -> Tuple[InterconnectModel, ...]:
+    """All ten models, in table order."""
+    return tuple(model(name) for name in MODEL_NAMES)

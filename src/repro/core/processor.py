@@ -1,0 +1,509 @@
+"""The dynamically scheduled partitioned processor (Section 4).
+
+Ties every substrate together into a cycle-level model:
+
+* fetch (branch prediction, redirect stalls) fills the fetch queue;
+* dispatch renames, steers instructions to clusters, and inserts operand
+  copies ("copy instructions") for cross-cluster communication;
+* each cluster wakes and selects ready instructions onto its FUs;
+* loads/stores send their effective addresses to the centralized LSQ and
+  cache over the interconnect -- optionally with the paper's accelerated
+  partial-address pipeline;
+* results cross clusters on dynamically selected wire planes;
+* mispredicted branches send a redirect signal back to the front end;
+* in-order commit retires up to eight instructions per cycle.
+
+Phase order within a cycle: deliveries -> scheduled events -> commit ->
+issue -> dispatch -> fetch -> network arbitration.  Scheduled events are
+always strictly in the future, so the wheel never re-enters a cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..clusters.cluster import Cluster
+from ..clusters.steering import SteeringHeuristic, SteeringWeights
+from ..frontend.bpred import BranchTargetBuffer, CombinedPredictor
+from ..frontend.fetch import FetchUnit
+from ..interconnect.message import Transfer, TransferKind
+from ..interconnect.network import Network
+from ..interconnect.topology import CACHE_NODE, cluster_node
+from ..memory.cache import SetAssocCache
+from ..memory.depspec import MemoryDependencePredictor
+from ..memory.hierarchy import HitLevel, MemoryHierarchy
+from ..memory.lsq import LoadStoreQueue
+from ..memory.pipeline import CachePipeline
+from ..operands.frequent import FrequentValueTable
+from ..operands.narrow import NarrowWidthPredictor
+from ..wires import WireClass
+from ..workloads.trace import (
+    EXECUTION_LATENCY,
+    NUM_ARCH_REGS,
+    InstructionRecord,
+    OpClass,
+)
+from .config import InterconnectConfig, ProcessorConfig
+from .instruction import DynInstr, is_producer
+
+#: Abort if commit makes no progress for this many cycles.
+DEADLOCK_HORIZON = 50_000
+
+
+@dataclass
+class ProcessorStats:
+    """Counters accumulated during the measured window."""
+
+    cycles: int = 0
+    committed: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    redirects: int = 0
+    ordering_violations: int = 0
+    cross_cluster_operands: int = 0
+    local_operands: int = 0
+    dispatch_stalls: int = 0
+    hit_levels: Dict[HitLevel, int] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return self.committed / self.cycles
+
+
+class ClusteredProcessor:
+    """Cycle-level model of the paper's evaluation platform."""
+
+    def __init__(self, config: ProcessorConfig,
+                 interconnect: InterconnectConfig,
+                 supply, seed_tag: str = "") -> None:
+        self.config = config
+        self.topology = config.build_topology()
+        composition = interconnect.build_composition()
+        self.network = Network(self.topology, composition, interconnect.flags)
+        self.clusters = [
+            Cluster(i, cluster_node(i), config.issue_queue_size,
+                    config.regfile_size)
+            for i in range(config.num_clusters)
+        ]
+        self.steering = SteeringHeuristic(
+            self.clusters, self.topology, SteeringWeights()
+        )
+        self.hierarchy = MemoryHierarchy(config.hierarchy)
+        self.cache_pipeline = CachePipeline(self.hierarchy)
+        partial = (
+            interconnect.flags.lwire_partial_address
+            and composition.has_plane(WireClass.L)
+        )
+        self.dependence_predictor = (
+            MemoryDependencePredictor()
+            if config.memory_dependence_speculation else None
+        )
+        self.lsq = LoadStoreQueue(
+            self.cache_pipeline, config.lsq_size,
+            partial_enabled=partial,
+            load_done=self._load_data_ready,
+            dependence_predictor=self.dependence_predictor,
+            on_violation=self._ordering_violation,
+        )
+        icache = SetAssocCache(config.icache_size_kb * 1024,
+                               config.icache_assoc, 64, name="L1I")
+        self.fetch = FetchUnit(
+            supply,
+            predictor=CombinedPredictor(),
+            btb=BranchTargetBuffer(),
+            icache=icache,
+            width=config.fetch_width,
+            queue_size=config.fetch_queue_size,
+            max_blocks=config.max_fetch_blocks,
+            refill_penalty=config.frontend_refill,
+            icache_miss_penalty=config.icache_miss_penalty,
+        )
+        self.narrow_predictor = NarrowWidthPredictor()
+        # Frequent-value compaction (extension, off unless the policy
+        # enables it).  One logical table, assumed replicated coherently
+        # at every cluster -- updates are a deterministic function of
+        # the committed value stream.
+        self.frequent_values = (
+            FrequentValueTable()
+            if interconnect.flags.lwire_frequent_value else None
+        )
+        self.rename: List[Optional[DynInstr]] = [None] * (2 * NUM_ARCH_REGS)
+        self.rob: Deque[DynInstr] = deque()
+        self._events: Dict[int, List[Callable[[], None]]] = {}
+        self.cycle = 0
+        self.stats = ProcessorStats()
+        self._measuring = True
+        self._last_commit_cycle = 0
+        self._node_of = [cluster_node(i) for i in range(config.num_clusters)]
+
+    def prewarm(self, footprint) -> None:
+        """Analytically warm the caches over a workload's data regions.
+
+        Stands in for the paper's long warmup phase: the L2 holds
+        whatever one pass over each region leaves resident; the L1 gets
+        the (small) last region, typically the stack.  Short simulated
+        warmup then settles the L1, TLB and predictors.
+        """
+        for base, size in footprint:
+            self.hierarchy.l2.prewarm_region(base, size)
+        if footprint:
+            base, size = footprint[-1]
+            self.hierarchy.l1.prewarm_region(base, size)
+
+    # -- events ------------------------------------------------------------
+
+    def _schedule(self, cycle: int, fn: Callable[[], None]) -> None:
+        if cycle <= self.cycle:
+            cycle = self.cycle + 1
+        self._events.setdefault(cycle, []).append(fn)
+
+    # -- top-level driver -----------------------------------------------------
+
+    def run(self, instructions: int, warmup: int = 0,
+            max_cycles: Optional[int] = None) -> ProcessorStats:
+        """Simulate until ``instructions`` commit in the measured window.
+
+        ``warmup`` instructions commit first without being measured
+        (caches, predictors and the network stay warm; counters reset).
+        """
+        if instructions < 1:
+            raise ValueError("must simulate at least one instruction")
+        if warmup:
+            self._run_until(self.stats.committed + warmup, max_cycles)
+            self.reset_measurement()
+        self._run_until(self.stats.committed + instructions, max_cycles)
+        return self.stats
+
+    def _run_until(self, target_committed: int,
+                   max_cycles: Optional[int]) -> None:
+        while self.stats.committed < target_committed:
+            if max_cycles is not None and self.stats.cycles >= max_cycles:
+                break
+            self.step()
+            if self.cycle - self._last_commit_cycle > DEADLOCK_HORIZON:
+                raise RuntimeError(
+                    f"no commit for {DEADLOCK_HORIZON} cycles at cycle "
+                    f"{self.cycle}; rob={len(self.rob)}, "
+                    f"head={self.rob[0] if self.rob else None}"
+                )
+
+    def step(self) -> None:
+        """Advance one cycle."""
+        cycle = self.cycle
+        self.network.deliver_due(cycle)
+        events = self._events.pop(cycle, None)
+        if events:
+            for fn in events:
+                fn()
+        self._commit(cycle)
+        self._issue(cycle)
+        self._dispatch(cycle)
+        self.fetch.tick(cycle)
+        self.network.tick(cycle)
+        self.stats.cycles += 1
+        self.cycle = cycle + 1
+
+    def reset_measurement(self) -> None:
+        """Zero the measured counters (end of warmup)."""
+        self.stats = ProcessorStats()
+        self.network.stats.__init__()
+        self.lsq.loads_disambiguated = 0
+        self.lsq.false_dependences = 0
+        self.lsq.true_forwards = 0
+        self.lsq.early_ram_starts = 0
+        self._last_commit_cycle = self.cycle
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _dispatch(self, cycle: int) -> None:
+        budget = self.config.dispatch_width
+        queue = self.fetch.queue
+        while budget > 0 and queue:
+            if len(self.rob) >= self.config.rob_size:
+                self.stats.dispatch_stalls += 1
+                return
+            instr = queue[0]
+            if instr.op.is_memory and not self.lsq.has_room():
+                self.stats.dispatch_stalls += 1
+                return
+            producers = self._inflight_producers(instr.rec)
+            cluster = self.steering.choose(instr, producers)
+            if cluster is None:
+                self.stats.dispatch_stalls += 1
+                return
+            queue.popleft()
+            budget -= 1
+            cluster.admit(instr)
+            instr.dispatch_cycle = cycle
+            self.rob.append(instr)
+            if instr.op.is_memory:
+                self.lsq.allocate(instr)
+            if instr.rec.writes_int_register:
+                instr.narrow_predicted = self.narrow_predictor.predict_and_train(
+                    instr.rec.pc, instr.rec.is_narrow
+                )
+                if self.frequent_values is not None:
+                    self.frequent_values.observe(instr.rec.value)
+            self._rename(instr, producers, cluster, cycle)
+            if instr.rec.dest >= 0:
+                self.rename[instr.rec.dest] = instr
+
+    def _inflight_producers(
+        self, rec: InstructionRecord
+    ) -> List[Tuple[int, DynInstr]]:
+        producers = []
+        for reg in rec.srcs:
+            producer = self.rename[reg]
+            if is_producer(producer):
+                producers.append((reg, producer))
+        return producers
+
+    def _rename(self, instr: DynInstr,
+                producers: List[Tuple[int, DynInstr]],
+                cluster: Cluster, cycle: int) -> None:
+        outstanding = 0
+        data_outstanding = 0
+        home = cluster.index
+        pcs = []
+        # A store's first source is its address operand (gates AGEN and
+        # issue); remaining sources are the data value, which ships to
+        # the LSQ independently of issue.
+        is_store = instr.is_store
+        for idx, reg in enumerate(instr.rec.srcs):
+            producer = self.rename[reg]
+            if not is_producer(producer):
+                continue
+            pcs.append(producer.rec.pc)
+            is_data = is_store and idx >= 1
+            if producer.available_in(home, cycle):
+                continue
+            if is_data:
+                data_outstanding += 1
+            else:
+                outstanding += 1
+            producer.add_waiter(home, instr, is_data=is_data)
+            if (producer.completed and home != producer.cluster
+                    and home not in producer.transfer_started):
+                # Value already sitting in a remote register file at
+                # dispatch time: the paper's first PW-Wire criterion.
+                self._start_operand_transfer(
+                    producer, home, cycle, ready_at_dispatch=True
+                )
+        instr.producer_pcs = pcs
+        instr.outstanding = outstanding
+        instr.data_outstanding = data_outstanding
+        if instr.is_store and data_outstanding == 0:
+            self._schedule(cycle + 1, lambda i=instr: self._send_store_data(i))
+        if outstanding == 0:
+            cluster.make_ready(instr)
+
+    # -- issue and execute --------------------------------------------------------
+
+    def _issue(self, cycle: int) -> None:
+        for cluster in self.clusters:
+            if not cluster.has_ready():
+                continue
+            for instr in cluster.select():
+                instr.issue_cycle = cycle
+                op = instr.op
+                if op.is_memory:
+                    agen_done = cycle + EXECUTION_LATENCY[op]
+                    instr.addr_known_cycle = agen_done
+                    self._schedule(
+                        agen_done,
+                        lambda i=instr: self._send_address(i),
+                    )
+                else:
+                    done = cycle + EXECUTION_LATENCY[op]
+                    self._schedule(done, lambda i=instr: self._complete(i))
+
+    def _complete(self, instr: DynInstr) -> None:
+        """A non-memory instruction finished executing."""
+        cycle = self.cycle
+        instr.completed = True
+        instr.complete_cycle = cycle
+        home = instr.cluster
+        instr.avail_cycle[home] = cycle
+        self._wake_cluster(instr, home, cycle)
+        for target in list(instr.waiters):
+            if target != home and target not in instr.transfer_started:
+                self._start_operand_transfer(instr, target, cycle,
+                                             ready_at_dispatch=False)
+        if instr.is_branch:
+            self.stats.branches += 1
+            if instr.needs_redirect:
+                self._send_redirect(instr, cycle)
+
+    def _wake_cluster(self, producer: DynInstr, cluster_index: int,
+                      cycle: int) -> None:
+        waiters = producer.waiters.pop(cluster_index, None)
+        if not waiters:
+            return
+        for consumer, is_data in waiters:
+            if is_data:
+                consumer.data_outstanding -= 1
+                if consumer.data_outstanding == 0:
+                    self._send_store_data(consumer)
+                continue
+            consumer.outstanding -= 1
+            if consumer.outstanding == 0 and not consumer.issued:
+                self.clusters[consumer.cluster].make_ready(consumer)
+                if len(consumer.producer_pcs) > 1:
+                    others = [pc for pc in consumer.producer_pcs
+                              if pc != producer.rec.pc]
+                    self.steering.train_criticality(producer.rec.pc, others)
+
+    # -- operand transport -----------------------------------------------------
+
+    def _start_operand_transfer(self, producer: DynInstr, target: int,
+                                cycle: int, ready_at_dispatch: bool) -> None:
+        producer.transfer_started.add(target)
+        self.stats.cross_cluster_operands += 1
+        transfer = Transfer(
+            kind=TransferKind.OPERAND,
+            src=self._node_of[producer.cluster],
+            dst=self._node_of[target],
+            ready_at_dispatch=ready_at_dispatch,
+            narrow_predicted=producer.narrow_predicted,
+            narrow_actual=producer.rec.is_narrow,
+            fv_encodable=self._fv_encodable(producer),
+            seq=producer.seq,
+            on_arrival=lambda arrival, p=producer, t=target:
+                self._operand_arrived(p, t, arrival),
+        )
+        self.network.submit(transfer, cycle)
+
+    def _fv_encodable(self, producer: DynInstr) -> bool:
+        """Can this result travel as a frequent-value index?"""
+        if self.frequent_values is None:
+            return False
+        rec = producer.rec
+        return rec.writes_int_register and self.frequent_values.contains(
+            rec.value
+        )
+
+    def _operand_arrived(self, producer: DynInstr, target: int,
+                         arrival: int) -> None:
+        producer.avail_cycle[target] = arrival
+        self._wake_cluster(producer, target, arrival)
+
+    # -- memory pipeline ----------------------------------------------------------
+
+    def _send_address(self, instr: DynInstr) -> None:
+        """AGEN finished: ship the effective address to the LSQ/cache."""
+        cycle = self.cycle
+        kind = (TransferKind.LOAD_ADDRESS if instr.is_load
+                else TransferKind.STORE_ADDRESS)
+        addr = instr.rec.addr
+        transfer = Transfer(
+            kind=kind,
+            src=self._node_of[instr.cluster],
+            dst=CACHE_NODE,
+            seq=instr.seq,
+            on_partial_arrival=lambda t, i=instr, a=addr:
+                self.lsq.on_partial_address(i, a, t),
+            on_arrival=lambda t, i=instr, a=addr:
+                self.lsq.on_full_address(i, a, t),
+        )
+        self.network.submit(transfer, cycle)
+        if instr.is_store:
+            instr.completed = True
+            instr.complete_cycle = cycle
+
+    def _send_store_data(self, instr: DynInstr) -> None:
+        """The store's data value is in its cluster: ship it to the LSQ."""
+        data = Transfer(
+            kind=TransferKind.STORE_DATA,
+            src=self._node_of[instr.cluster],
+            dst=CACHE_NODE,
+            seq=instr.seq,
+            on_arrival=lambda t, i=instr: self.lsq.on_store_data(i, t),
+        )
+        self.network.submit(data, self.cycle)
+
+    def _load_data_ready(self, instr: DynInstr, cycle: int,
+                         level: HitLevel) -> None:
+        """LSQ callback: the load's value can leave the cache at ``cycle``."""
+        self.stats.hit_levels[level] = self.stats.hit_levels.get(level, 0) + 1
+        self._schedule(cycle, lambda i=instr: self._send_load_data(i))
+
+    def _send_load_data(self, instr: DynInstr) -> None:
+        transfer = Transfer(
+            kind=TransferKind.LOAD_DATA,
+            src=CACHE_NODE,
+            dst=self._node_of[instr.cluster],
+            seq=instr.seq,
+            narrow_predicted=instr.narrow_predicted,
+            narrow_actual=instr.rec.is_narrow,
+            fv_encodable=self._fv_encodable(instr),
+            on_arrival=lambda t, i=instr: self._load_complete(i, t),
+        )
+        self.network.submit(transfer, self.cycle)
+
+    def _load_complete(self, instr: DynInstr, cycle: int) -> None:
+        instr.completed = True
+        instr.complete_cycle = cycle
+        home = instr.cluster
+        instr.avail_cycle[home] = cycle
+        self._wake_cluster(instr, home, cycle)
+        for target in list(instr.waiters):
+            if target != home and target not in instr.transfer_started:
+                self._start_operand_transfer(instr, target, cycle,
+                                             ready_at_dispatch=False)
+
+    def _ordering_violation(self, instr: DynInstr, cycle: int) -> None:
+        """A speculated load turned out to conflict with an older store.
+
+        Modelled as a front-end squash: fetch stalls for the configured
+        penalty (the load's consumers keep their values -- the timing
+        cost, not the dataflow repair, is what the evaluation needs).
+        """
+        self.stats.ordering_violations += 1
+        self.fetch.stall_until(cycle + self.config.violation_penalty)
+
+    # -- redirects -------------------------------------------------------------
+
+    def _send_redirect(self, instr: DynInstr, cycle: int) -> None:
+        self.stats.redirects += 1
+        transfer = Transfer(
+            kind=TransferKind.MISPREDICT,
+            src=self._node_of[instr.cluster],
+            dst=CACHE_NODE,
+            seq=instr.seq,
+            on_arrival=lambda t, i=instr:
+                self.fetch.redirect_arrived(i.seq, t),
+        )
+        self.network.submit(transfer, cycle)
+
+    # -- commit ------------------------------------------------------------------
+
+    def _commit(self, cycle: int) -> None:
+        budget = self.config.commit_width
+        rob = self.rob
+        while budget > 0 and rob:
+            head = rob[0]
+            if not head.completed:
+                return
+            if head.is_store and not self.lsq.store_ready_to_commit(head):
+                return
+            rob.popleft()
+            budget -= 1
+            head.committed = True
+            self._last_commit_cycle = cycle
+            self.clusters[head.cluster].release_register(head)
+            if head.op.is_memory:
+                self.lsq.release(head)
+                if head.is_store:
+                    self.hierarchy.store_commit(head.rec.addr, cycle)
+                    self.stats.stores += 1
+                else:
+                    self.stats.loads += 1
+            dest = head.rec.dest
+            if dest >= 0 and self.rename[dest] is head:
+                self.rename[dest] = None
+            self.stats.committed += 1

@@ -1,0 +1,91 @@
+"""Convenience drivers: build and run processors over workloads."""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional
+
+from ..workloads.generator import TraceGenerator
+from ..workloads.spec2k import BENCHMARK_NAMES, profile
+from .config import InterconnectConfig, ProcessorConfig
+from .metrics import BenchmarkRun, ModelResult
+from .models import InterconnectModel
+from .processor import ClusteredProcessor
+
+#: Default measured window (instructions) and warmup; the paper used
+#: 100 M + 1 M on native hardware -- these defaults keep a pure-Python
+#: run tractable and are overridable via the environment.
+DEFAULT_INSTRUCTIONS = int(os.environ.get("REPRO_INSTRUCTIONS", "12000"))
+DEFAULT_WARMUP = int(os.environ.get("REPRO_WARMUP", "3000"))
+DEFAULT_SEED = 42
+
+
+def build_processor(interconnect: InterconnectConfig, benchmark: str,
+                    num_clusters: int = 4, seed: int = DEFAULT_SEED,
+                    latency_scale: float = 1.0,
+                    config: Optional[ProcessorConfig] = None
+                    ) -> ClusteredProcessor:
+    """A processor wired to one synthetic SPEC2k benchmark."""
+    if config is None:
+        config = ProcessorConfig(
+            num_clusters=num_clusters, latency_scale=latency_scale
+        )
+    generator = TraceGenerator(profile(benchmark), seed=seed)
+    cpu = ClusteredProcessor(
+        config, interconnect, generator.stream_forever()
+    )
+    cpu.prewarm(generator.data_footprint())
+    return cpu
+
+
+def simulate_benchmark(interconnect: InterconnectConfig, benchmark: str,
+                       instructions: int = DEFAULT_INSTRUCTIONS,
+                       warmup: int = DEFAULT_WARMUP,
+                       num_clusters: int = 4, seed: int = DEFAULT_SEED,
+                       latency_scale: float = 1.0,
+                       config: Optional[ProcessorConfig] = None
+                       ) -> BenchmarkRun:
+    """Run one benchmark under one interconnect; returns measured numbers."""
+    cpu = build_processor(interconnect, benchmark, num_clusters, seed,
+                          latency_scale, config)
+    stats = cpu.run(instructions, warmup=warmup)
+    return BenchmarkRun(
+        benchmark=benchmark,
+        instructions=stats.committed,
+        cycles=stats.cycles,
+        interconnect_dynamic=cpu.network.stats.dynamic_energy(),
+        interconnect_leakage=cpu.network.leakage_energy(stats.cycles),
+        extra=(
+            ("redirects", float(stats.redirects)),
+            ("loads", float(stats.loads)),
+            ("stores", float(stats.stores)),
+            ("cross_cluster_operands",
+             float(stats.cross_cluster_operands)),
+            ("false_dependences", float(cpu.lsq.false_dependences)),
+            ("loads_disambiguated", float(cpu.lsq.loads_disambiguated)),
+            ("early_ram_starts", float(cpu.lsq.early_ram_starts)),
+            ("narrow_coverage", cpu.narrow_predictor.coverage),
+            ("narrow_false_rate", cpu.narrow_predictor.false_narrow_rate),
+            ("operand_transfers",
+             float(cpu.network.selector.operand_transfers)),
+            ("operand_narrow", float(cpu.network.selector.operand_narrow)),
+        ),
+    )
+
+
+def simulate_model(model: InterconnectModel,
+                   benchmarks: Optional[Iterable[str]] = None,
+                   instructions: int = DEFAULT_INSTRUCTIONS,
+                   warmup: int = DEFAULT_WARMUP,
+                   num_clusters: int = 4, seed: int = DEFAULT_SEED,
+                   latency_scale: float = 1.0) -> ModelResult:
+    """Run a whole benchmark suite under one interconnect model."""
+    names = tuple(benchmarks) if benchmarks is not None else BENCHMARK_NAMES
+    runs = tuple(
+        simulate_benchmark(
+            model.config, name, instructions, warmup,
+            num_clusters, seed, latency_scale,
+        )
+        for name in names
+    )
+    return ModelResult(model=model.name, runs=runs)

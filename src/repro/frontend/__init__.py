@@ -1,0 +1,19 @@
+"""Front end: branch prediction and fetch (Table 1 parameters)."""
+
+from .bpred import (
+    BimodalPredictor,
+    BranchTargetBuffer,
+    CombinedPredictor,
+    SaturatingCounterTable,
+    TwoLevelPredictor,
+)
+from .fetch import FetchUnit
+
+__all__ = [
+    "BimodalPredictor",
+    "BranchTargetBuffer",
+    "CombinedPredictor",
+    "SaturatingCounterTable",
+    "TwoLevelPredictor",
+    "FetchUnit",
+]

@@ -1,0 +1,183 @@
+"""Branch prediction: Table 1's combining predictor and BTB.
+
+The paper's front end (Simplescalar defaults, scaled up):
+
+* bimodal predictor, 16K 2-bit counters;
+* 2-level predictor, 16K-entry first-level history table with 12 bits of
+  per-branch history indexing a 16K-entry second-level counter table;
+* a 16K-entry chooser ("combination of bimodal and 2-level");
+* 16K-set, 2-way BTB.
+
+Counters are classic 2-bit saturating up/down; predictions are made and
+structures updated speculatively at fetch (the usual trace-driven
+simplification -- wrong-path pollution does not exist in a trace-driven
+pipeline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+def _check_power_of_two(value: int, name: str) -> None:
+    if value < 1 or value & (value - 1):
+        raise ValueError(f"{name} must be a positive power of two")
+
+
+class SaturatingCounterTable:
+    """A table of 2-bit saturating counters, taken when counter >= 2."""
+
+    def __init__(self, size: int, initial: int = 1) -> None:
+        _check_power_of_two(size, "predictor size")
+        if not 0 <= initial <= 3:
+            raise ValueError("counter values are 0..3")
+        self._mask = size - 1
+        self._table = [initial] * size
+
+    def index(self, key: int) -> int:
+        return key & self._mask
+
+    def predict(self, key: int) -> bool:
+        return self._table[key & self._mask] >= 2
+
+    def update(self, key: int, taken: bool) -> None:
+        idx = key & self._mask
+        value = self._table[idx]
+        if taken:
+            if value < 3:
+                self._table[idx] = value + 1
+        elif value > 0:
+            self._table[idx] = value - 1
+
+    def counter(self, key: int) -> int:
+        return self._table[key & self._mask]
+
+
+class BimodalPredictor:
+    """PC-indexed 2-bit counters (Table 1: 16K entries)."""
+
+    def __init__(self, size: int = 16384) -> None:
+        self._counters = SaturatingCounterTable(size)
+
+    def predict(self, pc: int) -> bool:
+        return self._counters.predict(pc >> 2)
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._counters.update(pc >> 2, taken)
+
+
+class TwoLevelPredictor:
+    """Per-branch history indexing a shared counter table.
+
+    Table 1: level-1 16K entries of 12-bit history, level-2 16K counters.
+    The level-2 index folds the history with the pc (gshare-style) so
+    distinct branches with similar histories do not collide trivially.
+    """
+
+    def __init__(self, l1_size: int = 16384, history_bits: int = 12,
+                 l2_size: int = 16384) -> None:
+        _check_power_of_two(l1_size, "level-1 size")
+        if history_bits < 1:
+            raise ValueError("need at least one history bit")
+        self._l1_mask = l1_size - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._histories = [0] * l1_size
+        self._counters = SaturatingCounterTable(l2_size)
+
+    def _l2_key(self, pc: int) -> int:
+        history = self._histories[(pc >> 2) & self._l1_mask]
+        return history ^ (pc >> 2)
+
+    def predict(self, pc: int) -> bool:
+        return self._counters.predict(self._l2_key(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        l1_idx = (pc >> 2) & self._l1_mask
+        self._counters.update(self._l2_key(pc), taken)
+        history = self._histories[l1_idx]
+        self._histories[l1_idx] = ((history << 1) | taken) & self._history_mask
+
+
+class CombinedPredictor:
+    """Chooser-selected combination of bimodal and 2-level (Table 1)."""
+
+    def __init__(self, bimodal_size: int = 16384, l1_size: int = 16384,
+                 history_bits: int = 12, l2_size: int = 16384,
+                 chooser_size: int = 16384) -> None:
+        self.bimodal = BimodalPredictor(bimodal_size)
+        self.twolevel = TwoLevelPredictor(l1_size, history_bits, l2_size)
+        # Chooser counter >= 2 selects the 2-level predictor.
+        self._chooser = SaturatingCounterTable(chooser_size)
+        self.lookups = 0
+        self.mispredicts = 0
+
+    def predict(self, pc: int) -> bool:
+        if self._chooser.predict(pc >> 2):
+            return self.twolevel.predict(pc)
+        return self.bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Update both components and train the chooser toward whichever
+        component was correct (no change when they agree)."""
+        bim = self.bimodal.predict(pc)
+        two = self.twolevel.predict(pc)
+        if bim != two:
+            self._chooser.update(pc >> 2, taken == two)
+        self.bimodal.update(pc, taken)
+        self.twolevel.update(pc, taken)
+
+    def predict_and_train(self, pc: int, taken: bool) -> bool:
+        """Predict, record accuracy, update; returns the prediction."""
+        prediction = self.predict(pc)
+        self.lookups += 1
+        if prediction != taken:
+            self.mispredicts += 1
+        self.update(pc, taken)
+        return prediction
+
+    @property
+    def accuracy(self) -> float:
+        if not self.lookups:
+            return 1.0
+        return 1.0 - self.mispredicts / self.lookups
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB (Table 1: 16K sets, 2-way), LRU replacement."""
+
+    def __init__(self, sets: int = 16384, ways: int = 2) -> None:
+        _check_power_of_two(sets, "BTB sets")
+        if ways < 1:
+            raise ValueError("BTB needs at least one way")
+        self._set_mask = sets - 1
+        self.ways = ways
+        # Each set is an MRU-ordered list of (tag, target).
+        self._sets: Dict[int, List[Tuple[int, int]]] = {}
+
+    def _locate(self, pc: int) -> Tuple[int, int]:
+        index = (pc >> 2) & self._set_mask
+        tag = pc >> 2
+        return index, tag
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """Predicted target, or None on a BTB miss.  Refreshes LRU."""
+        index, tag = self._locate(pc)
+        entries = self._sets.get(index)
+        if not entries:
+            return None
+        for i, (entry_tag, target) in enumerate(entries):
+            if entry_tag == tag:
+                if i:
+                    entries.insert(0, entries.pop(i))
+                return target
+        return None
+
+    def install(self, pc: int, target: int) -> None:
+        index, tag = self._locate(pc)
+        entries = self._sets.setdefault(index, [])
+        for i, (entry_tag, _) in enumerate(entries):
+            if entry_tag == tag:
+                entries.pop(i)
+                break
+        entries.insert(0, (tag, target))
+        del entries[self.ways:]

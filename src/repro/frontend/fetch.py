@@ -1,0 +1,132 @@
+"""The fetch unit: 8-wide across up to two basic blocks, 64-entry queue.
+
+Trace-driven: instruction records come from the workload generator, which
+supplies the *correct* path.  Branches are run through the combining
+predictor and the BTB; a mispredicted branch (wrong direction, or a taken
+branch the BTB cannot supply a target for) stops fetch on the spot --
+wrong-path instructions are not simulated, the penalty is the stall until
+the branch resolves, the redirect signal crosses the interconnect, and
+the front-end pipeline refills ("at least 12 cycles", Table 1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, Optional
+
+from ..core.instruction import DynInstr
+from ..memory.cache import SetAssocCache
+from ..workloads.trace import InstructionRecord, OpClass
+from .bpred import BranchTargetBuffer, CombinedPredictor
+
+
+class FetchUnit:
+    """Fills the fetch queue and enforces redirect stalls."""
+
+    def __init__(self, supply: Iterator[InstructionRecord],
+                 predictor: Optional[CombinedPredictor] = None,
+                 btb: Optional[BranchTargetBuffer] = None,
+                 icache: Optional[SetAssocCache] = None,
+                 width: int = 8, queue_size: int = 64,
+                 max_blocks: int = 2, refill_penalty: int = 10,
+                 icache_miss_penalty: int = 12) -> None:
+        if width < 1 or queue_size < 1 or max_blocks < 1:
+            raise ValueError("fetch dimensions must be positive")
+        if refill_penalty < 0 or icache_miss_penalty < 0:
+            raise ValueError("penalties must be non-negative")
+        self._supply = supply
+        self.predictor = predictor or CombinedPredictor()
+        self.btb = btb or BranchTargetBuffer()
+        self.icache = icache
+        self.width = width
+        self.max_blocks = max_blocks
+        self.refill_penalty = refill_penalty
+        self.icache_miss_penalty = icache_miss_penalty
+        self.queue: Deque[DynInstr] = deque()
+        self.queue_size = queue_size
+        self._seq = 0
+        self._pending: Optional[InstructionRecord] = None
+        self._resume_cycle = 0
+        #: Sequence number of the unresolved redirecting branch, if any.
+        self._redirect_seq: Optional[int] = None
+        self.exhausted = False
+        self.fetched = 0
+        self.redirects = 0
+
+    # -- redirect handshake -------------------------------------------------
+
+    @property
+    def stalled_for_redirect(self) -> bool:
+        return self._redirect_seq is not None
+
+    def redirect_arrived(self, branch_seq: int, cycle: int) -> None:
+        """The resolved branch's redirect signal reached the front-end."""
+        if self._redirect_seq != branch_seq:
+            return
+        self._redirect_seq = None
+        self._resume_cycle = cycle + self.refill_penalty
+        self.redirects += 1
+
+    def stall_until(self, cycle: int) -> None:
+        """Hold fetch until ``cycle`` (e.g. a memory-ordering violation
+        squashing the front of the window)."""
+        self._resume_cycle = max(self._resume_cycle, cycle)
+
+    # -- per-cycle fetch ------------------------------------------------------
+
+    def tick(self, cycle: int) -> int:
+        """Fetch up to ``width`` instructions into the queue; returns the
+        number fetched."""
+        if self._redirect_seq is not None or cycle < self._resume_cycle:
+            return 0
+        fetched = 0
+        blocks = 1
+        while (fetched < self.width
+               and len(self.queue) < self.queue_size
+               and not self.exhausted):
+            rec = self._next_record()
+            if rec is None:
+                break
+            if self.icache is not None and not self.icache.access(rec.pc):
+                # I-cache miss: stall, retry this record when the line is in.
+                self._pending = rec
+                self._resume_cycle = cycle + self.icache_miss_penalty
+                break
+            instr = DynInstr(self._seq, rec)
+            self._seq += 1
+            self.fetched += 1
+            fetched += 1
+            if rec.op is OpClass.BRANCH:
+                self._handle_branch(instr)
+                if instr.needs_redirect:
+                    self._redirect_seq = instr.seq
+                    self.queue.append(instr)
+                    break
+                blocks += 1
+                self.queue.append(instr)
+                if blocks > self.max_blocks:
+                    break
+            else:
+                self.queue.append(instr)
+        return fetched
+
+    def _next_record(self) -> Optional[InstructionRecord]:
+        if self._pending is not None:
+            rec, self._pending = self._pending, None
+            return rec
+        try:
+            return next(self._supply)
+        except StopIteration:
+            self.exhausted = True
+            return None
+
+    def _handle_branch(self, instr: DynInstr) -> None:
+        rec = instr.rec
+        prediction = self.predictor.predict_and_train(rec.pc, rec.taken)
+        instr.pred_taken = prediction
+        instr.mispredicted = prediction != rec.taken
+        if rec.taken:
+            target = self.btb.lookup(rec.pc)
+            if not instr.mispredicted and target != rec.target:
+                instr.btb_miss = True
+            self.btb.install(rec.pc, rec.target)

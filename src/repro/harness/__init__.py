@@ -1,0 +1,40 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from .runner import CACHE_VERSION, ExperimentPlan, ExperimentRunner, ResultCache
+from .formatting import (
+    percent_delta,
+    render_bar_chart,
+    render_table,
+    shape_check,
+)
+from .paperdata import PAPER_CLAIMS, PAPER_TABLE3, PAPER_TABLE4
+from .figure3 import Figure3Result, render_figure3, run_figure3
+from .table3 import TableResult, render_table3, run_table3, shape_summary
+from .table4 import render_table4, run_table4
+from .claims import ClaimResult, render_claims, run_claims
+
+__all__ = [
+    "CACHE_VERSION",
+    "ExperimentPlan",
+    "ExperimentRunner",
+    "ResultCache",
+    "percent_delta",
+    "render_bar_chart",
+    "render_table",
+    "shape_check",
+    "PAPER_CLAIMS",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "Figure3Result",
+    "render_figure3",
+    "run_figure3",
+    "TableResult",
+    "render_table3",
+    "run_table3",
+    "shape_summary",
+    "render_table4",
+    "run_table4",
+    "ClaimResult",
+    "render_claims",
+    "run_claims",
+]

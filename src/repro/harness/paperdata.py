@@ -1,0 +1,81 @@
+"""The paper's published numbers, for side-by-side comparison.
+
+Transcribed from Tables 3 and 4 and the prose of Sections 1 and 5.
+All table values are relative to Model I (= 100), except IPC which is
+absolute (the paper's simulated Alpha/SPEC2k IPCs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple, Optional
+
+
+class PaperTable3Row(NamedTuple):
+    metal_area: float
+    ipc: float
+    dynamic: Optional[float]
+    leakage: Optional[float]
+    energy_10: Optional[float]
+    ed2_10: Optional[float]
+    ed2_20: Optional[float]
+
+
+#: Table 3 -- 4-cluster systems.
+PAPER_TABLE3: Dict[str, PaperTable3Row] = {
+    "I": PaperTable3Row(1.0, 0.95, 100, 100, 100, 100, 100),
+    "II": PaperTable3Row(1.0, 0.92, 52, 112, 97, 103.4, 100.2),
+    "III": PaperTable3Row(1.5, 0.96, 61, 90, 97, 95.0, 92.1),
+    "IV": PaperTable3Row(2.0, 0.98, 99, 194, 103, 96.6, 99.2),
+    "V": PaperTable3Row(2.0, 0.97, 83, 204, 102, 97.8, 99.6),
+    "VI": PaperTable3Row(2.0, 0.97, 61, 141, 99, 94.4, 93.0),
+    "VII": PaperTable3Row(2.0, 0.99, 105, 130, 101, 93.3, 94.5),
+    "VIII": PaperTable3Row(3.0, 0.99, 99, 289, 106, 97.2, 102.4),
+    "IX": PaperTable3Row(3.0, 1.01, 105, 222, 104, 92.0, 95.5),
+    "X": PaperTable3Row(3.0, 1.00, 82, 233, 103, 92.7, 95.1),
+}
+
+
+class PaperTable4Row(NamedTuple):
+    ipc: float
+    energy_20: float
+    ed2_20: float
+
+
+#: Table 4 -- 16-cluster systems, interconnect = 20% of chip energy.
+PAPER_TABLE4: Dict[str, PaperTable4Row] = {
+    "I": PaperTable4Row(1.11, 100, 100),
+    "II": PaperTable4Row(1.05, 94, 105.3),
+    "III": PaperTable4Row(1.11, 94, 93.6),
+    "IV": PaperTable4Row(1.18, 105, 93.1),
+    "V": PaperTable4Row(1.15, 104, 96.5),
+    "VI": PaperTable4Row(1.13, 97, 93.2),
+    "VII": PaperTable4Row(1.19, 102, 88.7),
+    "VIII": PaperTable4Row(1.19, 111, 96.2),
+    "IX": PaperTable4Row(1.22, 107, 88.7),
+    "X": PaperTable4Row(1.19, 106, 91.9),
+}
+
+#: Scalar claims from the prose (percentages).
+PAPER_CLAIMS = {
+    # Section 1: doubling inter-cluster latency.
+    "latency_doubling_ipc_loss": -12.0,
+    # Figure 3 / Section 5.3: adding an L-Wire layer to the 4-cluster
+    # baseline.
+    "figure3_lwire_gain": 4.2,
+    # Section 5.3: same experiment with doubled wire latencies.
+    "lwire_gain_2x_latency": 7.1,
+    # Section 5.3: moving a single thread from 4 to 16 clusters.
+    "scaling_4_to_16": 17.0,
+    # Section 5.3: L-Wire layer on the 16-cluster system.
+    "lwire_gain_16cl": 7.4,
+    # Section 5.3: narrow share of register traffic.
+    "narrow_register_traffic": 14.0,
+    # Section 4: narrow-width predictor quality.
+    "narrow_predictor_coverage": 95.0,
+    "narrow_predictor_false": 2.0,
+    # Section 4: false LS-bit dependences, upper bound.
+    "false_dependence_bound": 9.0,
+    # Conclusions: best ED^2 reductions.
+    "best_ed2_gain_4cl": 8.0,
+    "best_ed2_gain_16cl": 11.0,
+}

@@ -1,0 +1,192 @@
+"""Experiment runner with on-disk result caching.
+
+Every (model, benchmark, machine, window, seed) run is cached as JSON
+under ``.repro_cache/`` in the repository root (override with
+``REPRO_CACHE_DIR``; set ``REPRO_NO_CACHE=1`` to disable).  The cache key
+includes a schema version -- bump :data:`CACHE_VERSION` when simulator
+changes invalidate old numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from ..core.config import InterconnectConfig
+from ..core.metrics import BenchmarkRun, ModelResult
+from ..core.models import InterconnectModel, model
+from ..interconnect.selection import PolicyFlags
+from ..core.simulation import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_SEED,
+    DEFAULT_WARMUP,
+    simulate_benchmark,
+)
+from ..workloads.spec2k import BENCHMARK_NAMES
+
+#: Bump when simulator changes invalidate cached results.
+CACHE_VERSION = 4
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """Everything that determines a run's outcome."""
+
+    model_name: str
+    benchmark: str
+    num_clusters: int = 4
+    latency_scale: float = 1.0
+    instructions: int = DEFAULT_INSTRUCTIONS
+    warmup: int = DEFAULT_WARMUP
+    seed: int = DEFAULT_SEED
+    policy_tag: str = "default"
+
+    def cache_key(self) -> str:
+        payload = json.dumps(
+            [CACHE_VERSION, self.model_name, self.benchmark,
+             self.num_clusters, self.latency_scale, self.instructions,
+             self.warmup, self.seed, self.policy_tag],
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+class ResultCache:
+    """JSON-file cache of :class:`BenchmarkRun` results."""
+
+    def __init__(self, directory: Optional[Path] = None) -> None:
+        if directory is None:
+            directory = Path(
+                os.environ.get("REPRO_CACHE_DIR",
+                               Path(__file__).resolve().parents[3]
+                               / ".repro_cache")
+            )
+        self.directory = directory
+        self.enabled = os.environ.get("REPRO_NO_CACHE", "") != "1"
+
+    def _path(self, plan: ExperimentPlan) -> Path:
+        return self.directory / f"{plan.cache_key()}.json"
+
+    def load(self, plan: ExperimentPlan) -> Optional[BenchmarkRun]:
+        if not self.enabled:
+            return None
+        path = self._path(plan)
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return BenchmarkRun(
+            benchmark=data["benchmark"],
+            instructions=data["instructions"],
+            cycles=data["cycles"],
+            interconnect_dynamic=data["interconnect_dynamic"],
+            interconnect_leakage=data["interconnect_leakage"],
+            extra=tuple((k, v) for k, v in data.get("extra", [])),
+        )
+
+    def store(self, plan: ExperimentPlan, run: BenchmarkRun) -> None:
+        if not self.enabled:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "benchmark": run.benchmark,
+            "instructions": run.instructions,
+            "cycles": run.cycles,
+            "interconnect_dynamic": run.interconnect_dynamic,
+            "interconnect_leakage": run.interconnect_leakage,
+            "extra": [list(pair) for pair in run.extra],
+        }
+        self._path(plan).write_text(json.dumps(payload))
+
+
+class ExperimentRunner:
+    """Executes experiment plans, consulting the cache first."""
+
+    def __init__(self, cache: Optional[ResultCache] = None,
+                 verbose: bool = True) -> None:
+        self.cache = cache or ResultCache()
+        self.verbose = verbose
+        self.executed = 0
+        self.cache_hits = 0
+
+    def run(self, plan: ExperimentPlan,
+            interconnect_model: Optional[InterconnectModel] = None
+            ) -> BenchmarkRun:
+        cached = self.cache.load(plan)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        if interconnect_model is None:
+            interconnect_model = model(plan.model_name)
+        if self.verbose:
+            print(f"  running {plan.model_name:>4s}/{plan.benchmark:<8s} "
+                  f"({plan.num_clusters}cl, x{plan.latency_scale:g})",
+                  flush=True)
+        run = simulate_benchmark(
+            interconnect_model.config, plan.benchmark,
+            instructions=plan.instructions, warmup=plan.warmup,
+            num_clusters=plan.num_clusters, seed=plan.seed,
+            latency_scale=plan.latency_scale,
+        )
+        self.executed += 1
+        self.cache.store(plan, run)
+        return run
+
+    def run_model(self, model_name: str,
+                  benchmarks: Optional[Sequence[str]] = None,
+                  num_clusters: int = 4, latency_scale: float = 1.0,
+                  instructions: int = DEFAULT_INSTRUCTIONS,
+                  warmup: int = DEFAULT_WARMUP,
+                  seed: int = DEFAULT_SEED) -> ModelResult:
+        names: Iterable[str] = benchmarks or BENCHMARK_NAMES
+        the_model = model(model_name)
+        runs = tuple(
+            self.run(
+                ExperimentPlan(
+                    model_name=model_name, benchmark=name,
+                    num_clusters=num_clusters, latency_scale=latency_scale,
+                    instructions=instructions, warmup=warmup, seed=seed,
+                ),
+                the_model,
+            )
+            for name in names
+        )
+        return ModelResult(model=model_name, runs=runs)
+
+    def run_model_with_flags(self, model_name: str, flags: PolicyFlags,
+                             tag: str,
+                             benchmarks: Optional[Sequence[str]] = None,
+                             num_clusters: int = 4,
+                             instructions: int = DEFAULT_INSTRUCTIONS,
+                             warmup: int = DEFAULT_WARMUP,
+                             seed: int = DEFAULT_SEED) -> ModelResult:
+        """A model's link composition with modified policy flags.
+
+        Used by the ablation benchmarks; ``tag`` names the flag variant
+        in the cache key.
+        """
+        base = model(model_name)
+        custom = InterconnectModel(
+            name=model_name,
+            config=InterconnectConfig(wires=dict(base.config.wires),
+                                      flags=flags),
+        )
+        names: Iterable[str] = benchmarks or BENCHMARK_NAMES
+        runs = tuple(
+            self.run(
+                ExperimentPlan(
+                    model_name=model_name, benchmark=name,
+                    num_clusters=num_clusters, instructions=instructions,
+                    warmup=warmup, seed=seed, policy_tag=tag,
+                ),
+                custom,
+            )
+            for name in names
+        )
+        return ModelResult(model=f"{model_name}:{tag}", runs=runs)

@@ -1,0 +1,72 @@
+"""Heterogeneous inter-cluster interconnect (Sections 3 and 4 of the paper).
+
+Links are bundles of wire planes (B-, PW-, L-Wires); a per-transfer
+selection policy chooses the plane each message rides.
+"""
+
+from .message import (
+    DEFAULT_BITS,
+    LS_COMPARE_BITS,
+    LWIRE_BITS,
+    MISPREDICT_BITS,
+    MS_ADDRESS_BITS,
+    NARROW_DATA_BITS,
+    NARROW_MAX_VALUE,
+    OPERAND_BITS,
+    OPERAND_DATA_BITS,
+    PARTIAL_ADDRESS_BITS,
+    TAG_BITS,
+    Segment,
+    Transfer,
+    TransferKind,
+    is_narrow,
+)
+from .plane import LinkComposition, PlaneSpec
+from .topology import (
+    CACHE_NODE,
+    CrossbarTopology,
+    HierarchicalTopology,
+    Path,
+    Topology,
+    cluster_node,
+)
+from .loadbalance import ImbalanceDetector, TrafficWindow
+from .selection import PlannedSegment, PolicyFlags, WireSelector
+from .stats import InterconnectStats, PlaneActivity, leakage_energy
+from .network import ChannelReport, Network
+
+__all__ = [
+    "DEFAULT_BITS",
+    "LS_COMPARE_BITS",
+    "LWIRE_BITS",
+    "MISPREDICT_BITS",
+    "MS_ADDRESS_BITS",
+    "NARROW_DATA_BITS",
+    "NARROW_MAX_VALUE",
+    "OPERAND_BITS",
+    "OPERAND_DATA_BITS",
+    "PARTIAL_ADDRESS_BITS",
+    "TAG_BITS",
+    "Segment",
+    "Transfer",
+    "TransferKind",
+    "is_narrow",
+    "LinkComposition",
+    "PlaneSpec",
+    "CACHE_NODE",
+    "CrossbarTopology",
+    "HierarchicalTopology",
+    "Path",
+    "Topology",
+    "cluster_node",
+    "ImbalanceDetector",
+    "TrafficWindow",
+    "PlannedSegment",
+    "PolicyFlags",
+    "WireSelector",
+    "InterconnectStats",
+    "PlaneActivity",
+    "leakage_energy",
+    "ChannelReport",
+    "Network",
+]

@@ -1,0 +1,72 @@
+"""Interconnect load-imbalance detection (Section 4, "Exploiting PW-Wires").
+
+The paper's third PW-steering criterion: track the traffic injected into
+each interconnect over the past N cycles (N = 5); when the difference
+exceeds a threshold (10 in the paper's simulations), steer subsequent
+transfers to the less congested interconnect.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from ..wires import WireClass
+
+
+class TrafficWindow:
+    """Sliding-window transfer counts per wire plane.
+
+    ``record`` notes a transfer injected on a plane at a cycle; ``counts``
+    reports per-plane totals over the trailing ``window`` cycles.
+    """
+
+    def __init__(self, window: int = 5) -> None:
+        if window < 1:
+            raise ValueError("window must be at least one cycle")
+        self.window = window
+        self._events: Deque[Tuple[int, WireClass]] = deque()
+        self._counts: Dict[WireClass, int] = {}
+
+    def record(self, cycle: int, wire_class: WireClass) -> None:
+        self._expire(cycle)
+        self._events.append((cycle, wire_class))
+        self._counts[wire_class] = self._counts.get(wire_class, 0) + 1
+
+    def count(self, cycle: int, wire_class: WireClass) -> int:
+        self._expire(cycle)
+        return self._counts.get(wire_class, 0)
+
+    def _expire(self, cycle: int) -> None:
+        horizon = cycle - self.window
+        events = self._events
+        while events and events[0][0] <= horizon:
+            _, wc = events.popleft()
+            self._counts[wc] -= 1
+
+
+class ImbalanceDetector:
+    """Chooses between two bulk planes based on recent traffic imbalance.
+
+    Implements the paper's policy: if ``|traffic(a) - traffic(b)|`` over
+    the window exceeds ``threshold``, subsequent transfers go to the less
+    congested plane; otherwise the caller's default stands.
+    """
+
+    def __init__(self, window: int = 5, threshold: int = 10) -> None:
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = threshold
+        self.traffic = TrafficWindow(window)
+
+    def record(self, cycle: int, wire_class: WireClass) -> None:
+        self.traffic.record(cycle, wire_class)
+
+    def redirect(self, cycle: int, a: WireClass,
+                 b: WireClass) -> Optional[WireClass]:
+        """The plane to divert to, or None if traffic is balanced."""
+        count_a = self.traffic.count(cycle, a)
+        count_b = self.traffic.count(cycle, b)
+        if abs(count_a - count_b) <= self.threshold:
+            return None
+        return b if count_a > count_b else a

@@ -1,0 +1,247 @@
+"""The inter-cluster network: queuing, arbitration, delivery.
+
+Ties together a :class:`~repro.interconnect.topology.Topology`, a
+:class:`~repro.interconnect.plane.LinkComposition` and a
+:class:`~repro.interconnect.selection.WireSelector`.
+
+Model (Section 4 of the paper): transfers wait in unbounded buffers at
+their source; each cycle, every wire plane of every channel can move as
+many bits as it has wires.  A transfer is granted when *all* channels on
+its path (source out-channel, any ring segments, destination in-channel)
+have budget left on the chosen plane in that cycle -- a cut-through
+approximation of the paper's fully pipelined links.  Granted segments
+arrive after the plane's path latency; arrival fires the transfer's
+callbacks (partial-slice arrivals fire ``on_partial_arrival``, the hook
+the accelerated cache pipeline uses).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..wires import WireClass
+from .message import Transfer
+from .plane import LinkComposition
+from .selection import PlannedSegment, PolicyFlags, WireSelector
+from .stats import InterconnectStats, leakage_energy
+from .topology import Topology
+
+
+@dataclass
+class _Queued:
+    """A planned segment waiting at its source channel."""
+
+    transfer: Transfer
+    segment: PlannedSegment
+    path_channels: Tuple[str, ...]
+    latency: int
+    energy_weight: int
+    earliest_cycle: int
+
+
+@dataclass(frozen=True)
+class ChannelReport:
+    """Utilization summary of one channel's wire plane."""
+
+    channel: str
+    wire_class: WireClass
+    capacity_bits: int
+    grants: int
+    bits: int
+    utilization: float
+
+
+class Network:
+    """Cycle-driven heterogeneous inter-cluster network."""
+
+    def __init__(self, topology: Topology, composition: LinkComposition,
+                 flags: Optional[PolicyFlags] = None) -> None:
+        self.topology = topology
+        self.composition = composition
+        self.selector = WireSelector(composition, flags)
+        self.stats = InterconnectStats()
+        # Per (out-channel, plane) FIFO queues; only non-empty ones are in
+        # ``_active`` so an idle network costs nothing per tick.
+        self._queues: Dict[Tuple[str, WireClass], List[_Queued]] = {}
+        self._queue_heads: Dict[Tuple[str, WireClass], int] = {}
+        self._active: set = set()
+        self._deliveries: List[Tuple[int, int, _Queued]] = []
+        self._delivery_seq = 0
+        self._budget: Dict[Tuple[str, WireClass], int] = {}
+        self._budget_cycle = -1
+        self._capacity_cache: Dict[Tuple[str, WireClass], int] = {}
+        # Per-(channel, plane) grant/bit counters for utilization reports.
+        self._channel_grants: Dict[Tuple[str, WireClass], int] = {}
+        self._channel_bits: Dict[Tuple[str, WireClass], int] = {}
+        self._first_grant_cycle: Optional[int] = None
+        self._last_grant_cycle = 0
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, transfer: Transfer, cycle: int) -> None:
+        """Plan a transfer's segments and queue them for arbitration."""
+        path = self.topology.path(transfer.src, transfer.dst)
+        segments = self.selector.select(transfer, cycle)
+        if len(segments) > 1:
+            self.stats.split_transfers += 1
+        for segment in segments:
+            self.selector.record_injection(cycle, segment.wire_class)
+            key = (path.channels[0], segment.wire_class)
+            queued = _Queued(
+                transfer=transfer,
+                segment=segment,
+                path_channels=path.channels,
+                latency=path.latency[segment.wire_class],
+                energy_weight=path.energy_weight,
+                earliest_cycle=cycle + segment.submit_delay,
+            )
+            queue = self._queues.get(key)
+            if queue is None:
+                queue = self._queues.setdefault(key, [])
+                self._queue_heads[key] = 0
+            queue.append(queued)
+            self._active.add(key)
+
+    # -- per-cycle operation ---------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        """Arbitrate all queued segments for this cycle's wire budgets."""
+        if not self._active:
+            return
+        if self._budget_cycle != cycle:
+            self._budget.clear()
+            self._budget_cycle = cycle
+        budget = self._budget
+        drained = []
+        for key in sorted(self._active, key=_queue_order):
+            queue = self._queues[key]
+            head = self._queue_heads[key]
+            plane = key[1]
+            while head < len(queue):
+                item = queue[head]
+                if item.earliest_cycle > cycle:
+                    break
+                if not self._grant(item, plane, cycle, budget):
+                    break
+                head += 1
+            self.stats.buffered_cycles += len(queue) - head
+            if head >= len(queue):
+                queue.clear()
+                head = 0
+                drained.append(key)
+            elif head > 64:
+                del queue[:head]
+                head = 0
+            self._queue_heads[key] = head
+        for key in drained:
+            self._active.discard(key)
+
+    def _grant(self, item: _Queued, plane: WireClass, cycle: int,
+               budget: Dict[Tuple[str, WireClass], int]) -> bool:
+        bits = item.segment.bits
+        keys = [(ch, plane) for ch in item.path_channels]
+        for bkey in keys:
+            capacity = self._capacity(bkey)
+            if budget.get(bkey, 0) + bits > capacity:
+                return False
+        for bkey in keys:
+            budget[bkey] = budget.get(bkey, 0) + bits
+            self._channel_grants[bkey] = self._channel_grants.get(
+                bkey, 0) + 1
+            self._channel_bits[bkey] = self._channel_bits.get(
+                bkey, 0) + bits
+        if self._first_grant_cycle is None:
+            self._first_grant_cycle = cycle
+        self._last_grant_cycle = cycle
+        self.stats.record_segment(
+            plane, bits, item.energy_weight, item.transfer.kind
+        )
+        self._delivery_seq += 1
+        heapq.heappush(
+            self._deliveries,
+            (cycle + item.latency, self._delivery_seq, item),
+        )
+        return True
+
+    def deliver_due(self, cycle: int) -> None:
+        """Fire arrival callbacks for every segment due by ``cycle``."""
+        deliveries = self._deliveries
+        while deliveries and deliveries[0][0] <= cycle:
+            arrival, _, item = heapq.heappop(deliveries)
+            transfer = item.transfer
+            if item.segment.is_leading_slice:
+                if transfer.on_partial_arrival is not None:
+                    transfer.on_partial_arrival(arrival)
+            if item.segment.is_final_slice:
+                if transfer.on_arrival is not None:
+                    transfer.on_arrival(arrival)
+
+    # -- introspection ----------------------------------------------------
+
+    def _capacity(self, key: Tuple[str, WireClass]) -> int:
+        capacity = self._capacity_cache.get(key)
+        if capacity is None:
+            channel, plane = key
+            width = self.composition.plane(plane).width
+            factor = self.topology.channel_width_factor(channel)
+            capacity = width * factor
+            self._capacity_cache[key] = capacity
+        return capacity
+
+    def idle(self) -> bool:
+        """True when nothing is queued or in flight."""
+        return not self._active and not self._deliveries
+
+    def next_event_cycle(self) -> Optional[int]:
+        """Earliest future delivery, for event-skipping cores."""
+        if self._deliveries:
+            return self._deliveries[0][0]
+        return None
+
+    def utilization_report(self,
+                           cycles: Optional[int] = None
+                           ) -> List[ChannelReport]:
+        """Per-channel, per-plane utilization, busiest first.
+
+        ``cycles`` is the observation window; defaults to the span
+        between the first and last grant seen.
+        """
+        if cycles is None:
+            if self._first_grant_cycle is None:
+                return []
+            cycles = max(1, self._last_grant_cycle
+                         - self._first_grant_cycle + 1)
+        if cycles < 1:
+            raise ValueError("cycles must be positive")
+        reports = []
+        for key, bits in self._channel_bits.items():
+            channel, plane = key
+            capacity = self._capacity(key)
+            reports.append(ChannelReport(
+                channel=channel,
+                wire_class=plane,
+                capacity_bits=capacity,
+                grants=self._channel_grants[key],
+                bits=bits,
+                utilization=bits / (capacity * cycles),
+            ))
+        reports.sort(key=lambda r: -r.utilization)
+        return reports
+
+    def wire_inventory(self) -> Dict[WireClass, int]:
+        """Physical wires per class across all links (for leakage)."""
+        inventory: Dict[WireClass, int] = {}
+        for _, factor in self.topology.link_inventory():
+            for wc, count in self.composition.total_wires(False).items():
+                inventory[wc] = inventory.get(wc, 0) + count * factor
+        return inventory
+
+    def leakage_energy(self, cycles: int) -> float:
+        return leakage_energy(self.wire_inventory(), cycles)
+
+
+def _queue_order(key: Tuple[str, WireClass]) -> Tuple[str, str]:
+    channel, plane = key
+    return (channel, plane.value)

@@ -1,0 +1,193 @@
+"""Wire-selection policies -- the paper's core contribution (Section 4).
+
+Given a transfer and the planes available on the links, decide which wires
+carry it:
+
+* branch-mispredict signals -> L-Wires (shortens the redirect leg of the
+  mispredict penalty);
+* load/store effective addresses -> split: the least-significant slice
+  races ahead on L-Wires (enabling early LSQ disambiguation and cache
+  RAM/TLB indexing), the rest follows on the bulk plane;
+* narrow results (predicted to fit 10 bits) -> L-Wires;
+* operands already ready at dispatch and store data -> PW-Wires (latency
+  tolerant, energy cheap);
+* traffic imbalance between B- and PW-planes beyond a threshold -> divert
+  to the less congested plane.
+
+Transfers that no rule claims ride the *bulk* plane (B-Wires when present,
+else PW-Wires).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List
+
+from ..wires import WireClass
+from .loadbalance import ImbalanceDetector
+from .message import (
+    LWIRE_BITS,
+    MISPREDICT_BITS,
+    MS_ADDRESS_BITS,
+    PARTIAL_ADDRESS_BITS,
+    Transfer,
+    TransferKind,
+)
+from .plane import LinkComposition
+
+
+@dataclass(frozen=True)
+class PolicyFlags:
+    """Which of the paper's mechanisms are enabled.
+
+    The defaults enable everything a link's composition supports; the
+    ablation benchmarks toggle them individually.
+    """
+
+    lwire_mispredict: bool = True
+    lwire_partial_address: bool = True
+    lwire_narrow: bool = True
+    pw_ready_operand: bool = True
+    pw_store_data: bool = True
+    pw_load_balance: bool = True
+    #: Extension (off by default): wide values found in the replicated
+    #: frequent-value table travel as an L-Wire index (Yang et al.).
+    lwire_frequent_value: bool = False
+    load_balance_window: int = 5
+    load_balance_threshold: int = 10
+
+    def without_lwire_uses(self) -> "PolicyFlags":
+        return replace(self, lwire_mispredict=False,
+                       lwire_partial_address=False, lwire_narrow=False)
+
+
+@dataclass(frozen=True)
+class PlannedSegment:
+    """One wire-plane message the selector schedules for a transfer."""
+
+    wire_class: WireClass
+    bits: int
+    is_leading_slice: bool = False
+    is_final_slice: bool = True
+    submit_delay: int = 0
+
+
+class WireSelector:
+    """Applies :class:`PolicyFlags` to a link composition.
+
+    ``select`` returns the planned segments for a transfer;
+    ``record_injection`` feeds the imbalance detector (the paper tracks
+    traffic *injected* into each interconnect).
+    """
+
+    #: Extra cycle to detect a narrow-width misprediction and reissue the
+    #: full-width value on the bulk plane.
+    NARROW_MISPREDICT_PENALTY = 1
+
+    def __init__(self, composition: LinkComposition,
+                 flags: PolicyFlags | None = None) -> None:
+        self.composition = composition
+        self.flags = flags or PolicyFlags()
+        self._has_l = composition.has_plane(WireClass.L)
+        self._has_pw = composition.has_plane(WireClass.PW)
+        self._has_b = composition.has_plane(WireClass.B)
+        self._bulk = composition.bulk_plane()
+        self._detector = ImbalanceDetector(
+            window=self.flags.load_balance_window,
+            threshold=self.flags.load_balance_threshold,
+        )
+        self.narrow_transfers = 0
+        self.narrow_mispredicts = 0
+        # Register-traffic narrowness (the paper's "14% of all register
+        # traffic on the inter-cluster network are integers 0..1023").
+        self.operand_transfers = 0
+        self.operand_narrow = 0
+        # Frequent-value-encoded transfers (extension).
+        self.fv_transfers = 0
+        # Per-rule PW steering counts (ablation reporting).
+        self.pw_ready_transfers = 0
+        self.pw_store_transfers = 0
+        self.pw_diverted_transfers = 0
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def record_injection(self, cycle: int, wire_class: WireClass) -> None:
+        self._detector.record(cycle, wire_class)
+
+    # -- the policy ------------------------------------------------------
+
+    def select(self, transfer: Transfer, cycle: int) -> List[PlannedSegment]:
+        kind = transfer.kind
+        flags = self.flags
+
+        if kind is TransferKind.OPERAND:
+            self.operand_transfers += 1
+            if transfer.narrow_actual:
+                self.operand_narrow += 1
+
+        if kind is TransferKind.MISPREDICT:
+            if flags.lwire_mispredict and self._has_l:
+                return [PlannedSegment(WireClass.L, MISPREDICT_BITS)]
+            return [self._bulk_segment(MISPREDICT_BITS, transfer, cycle)]
+
+        if kind.is_address and flags.lwire_partial_address and self._has_l:
+            bulk = self._bulk_choice(transfer, cycle)
+            return [
+                PlannedSegment(WireClass.L, PARTIAL_ADDRESS_BITS,
+                               is_leading_slice=True, is_final_slice=False),
+                PlannedSegment(bulk, MS_ADDRESS_BITS),
+            ]
+
+        if (kind in (TransferKind.OPERAND, TransferKind.LOAD_DATA)
+                and flags.lwire_narrow and self._has_l
+                and transfer.narrow_predicted):
+            self.narrow_transfers += 1
+            if transfer.narrow_actual:
+                return [PlannedSegment(WireClass.L, LWIRE_BITS)]
+            # Width mispredicted: the tag went out on L-Wires but the value
+            # does not fit; reissue full width after a detection cycle.
+            self.narrow_mispredicts += 1
+            bulk = self._bulk_choice(transfer, cycle)
+            return [
+                PlannedSegment(WireClass.L, LWIRE_BITS,
+                               is_leading_slice=True, is_final_slice=False),
+                PlannedSegment(bulk, transfer.bits,
+                               submit_delay=self.NARROW_MISPREDICT_PENALTY),
+            ]
+
+        if (kind in (TransferKind.OPERAND, TransferKind.LOAD_DATA)
+                and flags.lwire_frequent_value and self._has_l
+                and transfer.fv_encodable):
+            # Frequent-value index + tag fits the L-Wire plane.
+            self.fv_transfers += 1
+            return [PlannedSegment(WireClass.L, LWIRE_BITS)]
+
+        if (kind is TransferKind.OPERAND and transfer.ready_at_dispatch
+                and flags.pw_ready_operand and self._has_pw):
+            self.pw_ready_transfers += 1
+            return [PlannedSegment(WireClass.PW, transfer.bits)]
+
+        if (kind is TransferKind.STORE_DATA and flags.pw_store_data
+                and self._has_pw):
+            self.pw_store_transfers += 1
+            return [PlannedSegment(WireClass.PW, transfer.bits)]
+
+        return [self._bulk_segment(transfer.bits, transfer, cycle)]
+
+    # -- helpers ---------------------------------------------------------
+
+    def _bulk_choice(self, transfer: Transfer, cycle: int) -> WireClass:
+        """Bulk plane after the load-imbalance rule."""
+        if self.flags.pw_load_balance and self._has_b and self._has_pw:
+            diverted = self._detector.redirect(
+                cycle, WireClass.B, WireClass.PW
+            )
+            if diverted is not None:
+                if diverted is not self._bulk:
+                    self.pw_diverted_transfers += 1
+                return diverted
+        return self._bulk
+
+    def _bulk_segment(self, bits: int, transfer: Transfer,
+                      cycle: int) -> PlannedSegment:
+        return PlannedSegment(self._bulk_choice(transfer, cycle), bits)

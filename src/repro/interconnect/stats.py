@@ -1,0 +1,80 @@
+"""Interconnect activity counters and energy accounting.
+
+Dynamic energy is proportional to bits moved, weighted by the per-bit
+relative dynamic energy of the plane (Table 2) and the number of
+link-lengths spanned.  Leakage is proportional to the physical wires
+present times the cycles simulated, weighted by per-wire relative leakage.
+All energies are in "relative units" normalized exactly as the paper's
+Tables 3 and 4 are -- see :mod:`repro.core.metrics` for the final
+normalization against Model I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from ..wires import CANONICAL_SPECS, WireClass
+from .message import TransferKind
+
+
+@dataclass
+class PlaneActivity:
+    """Traffic observed on one wire class."""
+
+    transfers: int = 0
+    bits: int = 0
+    weighted_bits: int = 0
+
+
+@dataclass
+class InterconnectStats:
+    """Everything the energy model and the paper's traffic claims need."""
+
+    by_plane: Dict[WireClass, PlaneActivity] = field(default_factory=dict)
+    by_kind: Dict[TransferKind, int] = field(default_factory=dict)
+    buffered_cycles: int = 0
+    split_transfers: int = 0
+    diverted_transfers: int = 0
+
+    def record_segment(self, wire_class: WireClass, bits: int,
+                       energy_weight: int, kind: TransferKind) -> None:
+        activity = self.by_plane.get(wire_class)
+        if activity is None:
+            activity = self.by_plane.setdefault(wire_class, PlaneActivity())
+        activity.transfers += 1
+        activity.bits += bits
+        activity.weighted_bits += bits * energy_weight
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+    def dynamic_energy(self) -> float:
+        """Relative dynamic energy of all recorded traffic."""
+        total = 0.0
+        for wire_class, activity in self.by_plane.items():
+            spec = CANONICAL_SPECS[wire_class]
+            total += activity.weighted_bits * spec.relative_dynamic_energy
+        return total
+
+    def transfers_on(self, wire_class: WireClass) -> int:
+        activity = self.by_plane.get(wire_class)
+        return activity.transfers if activity else 0
+
+    def total_transfers(self) -> int:
+        return sum(a.transfers for a in self.by_plane.values())
+
+
+def leakage_energy(wire_inventory: Mapping[WireClass, int],
+                   cycles: int) -> float:
+    """Relative leakage energy of a network over ``cycles``.
+
+    ``wire_inventory`` maps each wire class to the total number of
+    physical wires in the network (all links, both directions).
+    """
+    if cycles < 0:
+        raise ValueError("cycles must be non-negative")
+    total = 0.0
+    for wire_class, count in wire_inventory.items():
+        if count < 0:
+            raise ValueError("wire counts must be non-negative")
+        total += count * CANONICAL_SPECS[wire_class].relative_leakage
+    return total * cycles

@@ -1,0 +1,20 @@
+"""Centralized memory hierarchy: caches, TLB, LSQ, cache pipeline."""
+
+from .cache import SetAssocCache
+from .depspec import MemoryDependencePredictor
+from .tlb import TLB
+from .hierarchy import HierarchyConfig, HitLevel, MemoryHierarchy
+from .pipeline import AccessResult, CachePipeline
+from .lsq import LoadStoreQueue
+
+__all__ = [
+    "SetAssocCache",
+    "MemoryDependencePredictor",
+    "TLB",
+    "HierarchyConfig",
+    "HitLevel",
+    "MemoryHierarchy",
+    "AccessResult",
+    "CachePipeline",
+    "LoadStoreQueue",
+]

@@ -1,0 +1,62 @@
+"""Memory-dependence prediction for speculative disambiguation.
+
+Section 4 of the paper: "the proposed pipeline works well and yields
+speedups even if the processor implements some form of memory dependence
+speculation.  The partial address can proceed straight to the L1 cache
+and prefetch data out of cache banks without going through partial
+address comparisons in the LSQ if it is predicted to not have memory
+dependences."
+
+This module provides that predictor: a PC-indexed table of 2-bit
+counters in the spirit of store sets.  Loads start out predicted
+independent (aggressive); a detected dependence or an ordering violation
+saturates the counter so subsequent instances of the same static load
+wait for older stores like the baseline pipeline.
+"""
+
+from __future__ import annotations
+
+
+class MemoryDependencePredictor:
+    """2-bit counters: counter >= threshold predicts a dependence."""
+
+    def __init__(self, size: int = 4096, threshold: int = 2) -> None:
+        if size < 1 or size & (size - 1):
+            raise ValueError("size must be a positive power of two")
+        if not 1 <= threshold <= 3:
+            raise ValueError("threshold must be 1..3")
+        self._mask = size - 1
+        self._table = [0] * size
+        self.threshold = threshold
+        self.lookups = 0
+        self.predicted_dependent = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predicts_dependence(self, pc: int) -> bool:
+        """Should the load at ``pc`` wait for older stores?"""
+        self.lookups += 1
+        dependent = self._table[self._index(pc)] >= self.threshold
+        if dependent:
+            self.predicted_dependent += 1
+        return dependent
+
+    def record_dependence(self, pc: int) -> None:
+        """A true dependence (forward or ordering violation) occurred."""
+        idx = self._index(pc)
+        # Jump straight to saturation: violations are expensive, so one
+        # strike is enough to stop speculating on this static load.
+        self._table[idx] = 3
+
+    def record_independent(self, pc: int) -> None:
+        """The load completed with no conflicting older store."""
+        idx = self._index(pc)
+        if self._table[idx] > 0:
+            self._table[idx] -= 1
+
+    @property
+    def dependence_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.predicted_dependent / self.lookups

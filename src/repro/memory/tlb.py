@@ -1,0 +1,72 @@
+"""Data TLB model (Table 1: 128 entries, 8 KB pages).
+
+The paper's accelerated cache pipeline sends a few virtual-page-number
+bits on L-Wires so TLB lookup can overlap RAM access; for that to work
+with partial indexing the TLB must be highly set-associative (the paper
+assumes 8-way for a 4-bit partial index).  The model here is a
+set-associative, LRU TLB with a fixed miss (walk) penalty.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class TLB:
+    """Set-associative translation look-aside buffer."""
+
+    def __init__(self, entries: int = 128, page_size: int = 8192,
+                 assoc: int = 8, miss_penalty: int = 30) -> None:
+        if entries <= 0 or assoc <= 0:
+            raise ValueError("TLB dimensions must be positive")
+        if entries % assoc:
+            raise ValueError("entries must divide into ways")
+        if page_size & (page_size - 1):
+            raise ValueError("page size must be a power of two")
+        if miss_penalty < 0:
+            raise ValueError("miss penalty must be non-negative")
+        self.page_size = page_size
+        self.assoc = assoc
+        self.miss_penalty = miss_penalty
+        self.num_sets = entries // assoc
+        self._page_shift = page_size.bit_length() - 1
+        self._set_mask = self.num_sets - 1
+        self._sets: Dict[int, List[int]] = {}
+        self.accesses = 0
+        self.misses = 0
+
+    def _index_tag(self, addr: int) -> tuple:
+        page = addr >> self._page_shift
+        return page & self._set_mask, page
+
+    def access(self, addr: int) -> int:
+        """Translate ``addr``; returns the extra penalty cycles (0 on hit)."""
+        self.accesses += 1
+        index, tag = self._index_tag(addr)
+        entries = self._sets.get(index)
+        if entries is not None:
+            try:
+                pos = entries.index(tag)
+            except ValueError:
+                pos = -1
+            if pos >= 0:
+                if pos:
+                    entries.insert(0, entries.pop(pos))
+                return 0
+        self.misses += 1
+        if entries is None:
+            entries = self._sets.setdefault(index, [])
+        entries.insert(0, tag)
+        del entries[self.assoc:]
+        return self.miss_penalty
+
+    @property
+    def miss_rate(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.misses / self.accesses
+
+    def index_bits(self) -> int:
+        """Bits of partial address needed to index the TLB -- the paper's
+        L-Wire budget check (4 bits for 128 entries at 8-way)."""
+        return max(1, self.num_sets - 1).bit_length()

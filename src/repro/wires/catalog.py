@@ -1,0 +1,183 @@
+"""The paper's Table 2: canonical wire parameters, plus analytic derivation.
+
+Two views of the same data live here:
+
+1. :data:`CANONICAL_SPECS` / :data:`TABLE2` -- the exact relative delays,
+   energies and network latencies the paper reports (its Table 2).  The
+   simulator consumes these, so reproduced experiments use precisely the
+   paper's wire model.
+2. :func:`derive_wire_spec` -- an analytic derivation of the same
+   quantities from the RC geometry and repeater models of
+   :mod:`repro.wires.geometry` and :mod:`repro.wires.repeaters`.  The
+   derived values track the canonical ones approximately (the paper's own
+   numbers come from Banerjee & Mehrotra's published design curves); the
+   test suite asserts the derived values preserve every qualitative
+   ordering the paper relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from .geometry import WireGeometry, delay_ratio, minimum_width_geometry
+from .repeaters import (
+    optimal_repeater_config,
+    power_optimal_repeater_config,
+    repeated_wire_delay,
+    repeated_wire_dynamic_energy,
+    repeated_wire_leakage_power,
+)
+from .wiretypes import WireClass, WireSpec
+
+#: Canonical Table 2 of the paper: per-wire relative delay, leakage and
+#: dynamic energy, with W-Wires as the 1.0 reference.  Area factors follow
+#: Section 3/5.2: B-Wires take 2x the metal area of a W/PW-Wire (extra
+#: spacing) and L-Wires take 8x (width and spacing both scaled by 8, hence
+#: "18 L-Wires occupy the same metal area as 72 B-Wires").
+CANONICAL_SPECS: Dict[WireClass, WireSpec] = {
+    WireClass.W: WireSpec(
+        wire_class=WireClass.W,
+        relative_delay=1.0,
+        relative_dynamic_energy=1.00,
+        relative_leakage=1.00,
+        area_factor=1.0,
+    ),
+    WireClass.PW: WireSpec(
+        wire_class=WireClass.PW,
+        relative_delay=1.2,
+        relative_dynamic_energy=0.30,
+        relative_leakage=0.30,
+        area_factor=1.0,
+    ),
+    WireClass.B: WireSpec(
+        wire_class=WireClass.B,
+        relative_delay=0.8,
+        relative_dynamic_energy=0.58,
+        relative_leakage=0.55,
+        area_factor=2.0,
+    ),
+    WireClass.L: WireSpec(
+        wire_class=WireClass.L,
+        relative_delay=0.3,
+        relative_dynamic_energy=0.84,
+        relative_leakage=0.79,
+        area_factor=8.0,
+    ),
+}
+
+#: Inter-cluster latencies of Table 2, in cycles.
+CROSSBAR_LATENCY: Dict[WireClass, int] = {
+    WireClass.PW: 3,
+    WireClass.B: 2,
+    WireClass.L: 1,
+}
+
+#: Per-hop latency on the 16-cluster ring, in cycles.
+RING_HOP_LATENCY: Dict[WireClass, int] = {
+    WireClass.PW: 6,
+    WireClass.B: 4,
+    WireClass.L: 2,
+}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of the paper's Table 2, for rendering and checking."""
+
+    wire_class: WireClass
+    relative_delay: float
+    crossbar_latency: int | None
+    ring_hop_latency: int | None
+    relative_leakage: float
+    relative_dynamic: float
+
+
+def table2_rows() -> list[Table2Row]:
+    """The paper's Table 2, row by row (W, PW, B, L order)."""
+    rows = []
+    for wc in (WireClass.W, WireClass.PW, WireClass.B, WireClass.L):
+        spec = CANONICAL_SPECS[wc]
+        rows.append(Table2Row(
+            wire_class=wc,
+            relative_delay=spec.relative_delay,
+            crossbar_latency=CROSSBAR_LATENCY.get(wc),
+            ring_hop_latency=RING_HOP_LATENCY.get(wc),
+            relative_leakage=spec.relative_leakage,
+            relative_dynamic=spec.relative_dynamic_energy,
+        ))
+    return rows
+
+
+#: Reference wire length used for analytic derivations (10 mm -- the
+#: length scale Ho et al. use for global-wire comparisons).
+REFERENCE_LENGTH = 10e-3
+
+
+def _geometry_for(wire_class: WireClass,
+                  technology_nm: float) -> WireGeometry:
+    """Cross-section geometry of each wire class per Section 5.2.
+
+    W/PW: minimum width and spacing.  B: same width, spacing increased so
+    each wire takes twice the metal area.  L: width and spacing both 8x.
+    """
+    base = minimum_width_geometry(technology_nm)
+    if wire_class in (WireClass.W, WireClass.PW):
+        return base
+    if wire_class is WireClass.B:
+        # Twice the pitch with unchanged width: spacing = 2*pitch - width.
+        return base.scaled(width_factor=1.0, spacing_factor=3.0)
+    if wire_class is WireClass.L:
+        return base.scaled(width_factor=8.0, spacing_factor=8.0)
+    raise ValueError(f"unknown wire class {wire_class!r}")
+
+
+def derive_wire_spec(wire_class: WireClass,
+                     technology_nm: float = 45.0) -> WireSpec:
+    """Derive a :class:`WireSpec` analytically from the RC models.
+
+    Delay-optimal repeaters for W, B and L; Banerjee-Mehrotra power-optimal
+    repeaters (20% delay penalty) for PW.  All values are relative to the
+    derived W-Wire at the same technology.
+    """
+    w_geom = _geometry_for(WireClass.W, technology_nm)
+    w_cfg = optimal_repeater_config(w_geom)
+    w_delay = repeated_wire_delay(w_geom, w_cfg, REFERENCE_LENGTH)
+    w_dyn = repeated_wire_dynamic_energy(w_geom, w_cfg, REFERENCE_LENGTH)
+    w_lkg = repeated_wire_leakage_power(w_cfg, REFERENCE_LENGTH)
+
+    geom = _geometry_for(wire_class, technology_nm)
+    if wire_class is WireClass.PW:
+        cfg = power_optimal_repeater_config(geom, delay_penalty=1.2)
+    else:
+        cfg = optimal_repeater_config(geom)
+    delay = repeated_wire_delay(geom, cfg, REFERENCE_LENGTH)
+    dyn = repeated_wire_dynamic_energy(geom, cfg, REFERENCE_LENGTH)
+    lkg = repeated_wire_leakage_power(cfg, REFERENCE_LENGTH)
+
+    base_pitch = w_geom.pitch
+    return WireSpec(
+        wire_class=wire_class,
+        relative_delay=delay / w_delay,
+        relative_dynamic_energy=dyn / w_dyn,
+        relative_leakage=lkg / w_lkg,
+        area_factor=geom.pitch / base_pitch,
+    )
+
+
+def derived_delay_ratio_l_vs_w(technology_nm: float = 45.0) -> float:
+    """sqrt(R_L * C_L / (R_W * C_W)) -- the paper's 5.2 derivation.
+
+    The paper computes R_L = 0.125 R_W and C_L = 0.8 C_W, giving
+    Delay_L = 0.3 Delay_W.  Our geometry model reproduces the R ratio
+    exactly (width scaled 8x) and the C ratio approximately.
+    """
+    w_geom = _geometry_for(WireClass.W, technology_nm)
+    l_geom = _geometry_for(WireClass.L, technology_nm)
+    return delay_ratio(l_geom, w_geom)
+
+
+def paper_delay_ratio_l_vs_w() -> float:
+    """The paper's own stated derivation: sqrt(0.125 * 0.8) ~= 0.316."""
+    return math.sqrt(0.125 * 0.8)

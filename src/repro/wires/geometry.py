@@ -1,0 +1,161 @@
+"""Wire electrical geometry: the RC models of Section 2 of the paper.
+
+The delay of an on-chip wire is governed by its RC time constant.  The paper
+gives the per-unit-length resistance and capacitance as functions of the
+wire cross-section geometry (equations (1) and (2)):
+
+    R_wire = rho / ((thickness - barrier) * (width - 2 * barrier))
+
+    C_wire = eps0 * (2 * K * eps_horiz * thickness / spacing
+                     + 2 * eps_vert * width / layer_spacing)
+             + fringe(eps_horiz, eps_vert)
+
+All geometric quantities in this module are in metres; resistances in
+ohm/m, capacitances in farad/m.  The defaults approximate a 45 nm global
+metal layer, which is the technology point the paper evaluates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+#: Vacuum permittivity (F/m).
+EPS0 = 8.854187817e-12
+
+#: Resistivity of copper (ohm * m).  Slightly above the bulk value to
+#: account for surface scattering at narrow widths.
+RHO_COPPER = 2.2e-8
+
+
+@dataclass(frozen=True)
+class WireGeometry:
+    """Cross-sectional geometry and material parameters of a single wire.
+
+    Attributes mirror the symbols of the paper's equations (1) and (2):
+
+    * ``width`` / ``thickness`` -- wire cross-section dimensions (m).
+    * ``spacing`` -- gap to the adjacent wire on the same layer (m).
+    * ``layer_spacing`` -- gap to the adjacent metal layers (m).
+    * ``barrier`` -- thickness of the diffusion-barrier liner (m).
+    * ``rho`` -- material resistivity (ohm*m).
+    * ``eps_horiz`` / ``eps_vert`` -- relative dielectrics for sidewall and
+      vertical parallel-plate capacitances.
+    * ``miller_k`` -- Miller-effect coupling factor ``K``.
+    * ``fringe_per_m`` -- constant fringing capacitance (F/m).
+    """
+
+    width: float
+    spacing: float
+    thickness: float
+    layer_spacing: float
+    barrier: float = 4.0e-9
+    rho: float = RHO_COPPER
+    eps_horiz: float = 2.7
+    eps_vert: float = 2.7
+    miller_k: float = 1.5
+    fringe_per_m: float = 40e-12
+
+    def __post_init__(self) -> None:
+        if self.width <= 2 * self.barrier:
+            raise ValueError(
+                f"wire width {self.width!r} must exceed twice the barrier "
+                f"thickness {self.barrier!r}"
+            )
+        if self.thickness <= self.barrier:
+            raise ValueError(
+                f"wire thickness {self.thickness!r} must exceed the barrier "
+                f"thickness {self.barrier!r}"
+            )
+        if self.spacing <= 0 or self.layer_spacing <= 0:
+            raise ValueError("spacing and layer_spacing must be positive")
+
+    def resistance_per_m(self) -> float:
+        """Per-unit-length resistance, paper equation (1), in ohm/m."""
+        conductor_thickness = self.thickness - self.barrier
+        conductor_width = self.width - 2 * self.barrier
+        return self.rho / (conductor_thickness * conductor_width)
+
+    def capacitance_per_m(self) -> float:
+        """Per-unit-length capacitance, paper equation (2), in F/m.
+
+        Two sidewall capacitors (scaled by the Miller factor ``K``) plus
+        two vertical parallel-plate capacitors plus a constant fringe term.
+        """
+        sidewall = 2 * self.miller_k * self.eps_horiz * (
+            self.thickness / self.spacing
+        )
+        vertical = 2 * self.eps_vert * (self.width / self.layer_spacing)
+        return EPS0 * (sidewall + vertical) + self.fringe_per_m
+
+    def rc_per_m2(self) -> float:
+        """Product of R and C per unit length (s/m^2).
+
+        The delay of an optimally repeated wire is proportional to
+        ``sqrt(R * C)`` per unit length; an unrepeated wire's delay grows
+        with the square of its length times this constant.
+        """
+        return self.resistance_per_m() * self.capacitance_per_m()
+
+    def unbuffered_delay(self, length: float) -> float:
+        """Elmore delay (s) of an unrepeated wire of ``length`` metres.
+
+        Distributed RC delay is ``0.38 * R * C * L^2``; this quadratic
+        growth is what repeater insertion linearizes.
+        """
+        return 0.38 * self.rc_per_m2() * length * length
+
+    def scaled(self, width_factor: float = 1.0,
+               spacing_factor: float = 1.0) -> "WireGeometry":
+        """Return a copy with width and spacing scaled.
+
+        This is the knob of Section 2 of the paper: wider wires and wider
+        spacing trade metal area (bandwidth) for lower RC delay.
+        """
+        if width_factor <= 0 or spacing_factor <= 0:
+            raise ValueError("scale factors must be positive")
+        return replace(
+            self,
+            width=self.width * width_factor,
+            spacing=self.spacing * spacing_factor,
+        )
+
+    @property
+    def pitch(self) -> float:
+        """Centre-to-centre distance between adjacent wires (m)."""
+        return self.width + self.spacing
+
+    def tracks_per_metal_area(self, reference: "WireGeometry") -> float:
+        """How many of these wires fit in the metal area of one ``reference``.
+
+        Wires are routed side by side, so the track count scales inversely
+        with pitch.
+        """
+        return reference.pitch / self.pitch
+
+
+def minimum_width_geometry(technology_nm: float = 45.0) -> WireGeometry:
+    """Minimum-pitch geometry for a global metal layer at ``technology_nm``.
+
+    Width and spacing equal the technology half-pitch; the aspect ratio
+    (thickness/width) of global layers is roughly 2.2 at these nodes.
+    """
+    if technology_nm <= 0:
+        raise ValueError("technology node must be positive")
+    half_pitch = technology_nm * 1e-9
+    return WireGeometry(
+        width=half_pitch,
+        spacing=half_pitch,
+        thickness=2.2 * half_pitch,
+        layer_spacing=2.0 * half_pitch,
+    )
+
+
+def delay_ratio(a: WireGeometry, b: WireGeometry) -> float:
+    """Delay of an optimally-repeated wire in ``a`` relative to ``b``.
+
+    With optimal repeaters the wire delay per unit length is proportional
+    to ``sqrt(R * C)`` (Banerjee & Mehrotra; Ho et al.), so the ratio of
+    delays is the ratio of ``sqrt(RC)`` values.
+    """
+    return math.sqrt(a.rc_per_m2() / b.rc_per_m2())

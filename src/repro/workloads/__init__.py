@@ -1,0 +1,26 @@
+"""Synthetic SPEC2k-like workloads (the paper's benchmark substrate)."""
+
+from .trace import (
+    EXECUTION_LATENCY,
+    NO_REG,
+    NUM_ARCH_REGS,
+    InstructionRecord,
+    OpClass,
+)
+from .generator import StreamKind, TraceGenerator, WorkloadProfile
+from .spec2k import BENCHMARK_NAMES, PROFILES, all_profiles, profile
+
+__all__ = [
+    "EXECUTION_LATENCY",
+    "NO_REG",
+    "NUM_ARCH_REGS",
+    "InstructionRecord",
+    "OpClass",
+    "StreamKind",
+    "TraceGenerator",
+    "WorkloadProfile",
+    "BENCHMARK_NAMES",
+    "PROFILES",
+    "all_profiles",
+    "profile",
+]

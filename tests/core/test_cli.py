@@ -1,0 +1,69 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestStaticCommands:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "144 B-Wires" in out
+        assert "288 PW-Wires, 36 L-Wires" in out
+
+    def test_benchmarks(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out and "swim" in out
+        assert out.count("\n") >= 23
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "L-Wires" in out and "0.3" in out
+
+
+class TestRunCommand:
+    def test_single_run(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["run", "--model", "VII", "--benchmark", "gzip",
+                     "--instructions", "800", "--warmup", "200"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "model VII" in out
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--model", "XI"])
+
+
+class TestExperimentCommands:
+    def test_figure3_subset(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["figure3", "--benchmarks", "gzip", "mesa",
+                     "--instructions", "600", "--warmup", "150"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "paper" in out
+
+    def test_claims_subset(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["claims", "--benchmarks", "gzip",
+                     "--instructions", "500", "--warmup", "150"])
+        assert code == 0
+        assert "Scalar claims" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_window_defaults(self):
+        args = build_parser().parse_args(["table3"])
+        assert args.instructions > 0
+        assert args.warmup >= 0
+        assert args.benchmarks is None

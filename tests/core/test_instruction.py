@@ -1,0 +1,66 @@
+"""Tests for the shared dynamic-instruction record."""
+
+from repro.core.instruction import NEVER, DynInstr, is_producer
+from repro.workloads.trace import InstructionRecord, OpClass
+
+
+def make(seq=0, op=OpClass.IALU, dest=5):
+    rec = InstructionRecord(pc=0x400000, op=op, dest=dest, srcs=(1, 2))
+    return DynInstr(seq, rec)
+
+
+class TestLifecycleFlags:
+    def test_fresh_instruction(self):
+        instr = make()
+        assert not instr.issued
+        assert not instr.completed
+        assert not instr.committed
+        assert instr.cluster == -1
+        assert instr.issue_cycle == NEVER
+
+    def test_op_properties(self):
+        assert make(op=OpClass.LOAD, dest=5).is_load
+        assert make(op=OpClass.STORE, dest=-1).is_store
+        assert make(op=OpClass.BRANCH, dest=-1).is_branch
+        assert not make(op=OpClass.IALU).is_load
+
+    def test_needs_redirect(self):
+        b = make(op=OpClass.BRANCH, dest=-1)
+        assert not b.needs_redirect
+        b.mispredicted = True
+        assert b.needs_redirect
+        b.mispredicted = False
+        b.btb_miss = True
+        assert b.needs_redirect
+
+
+class TestAvailability:
+    def test_not_available_until_recorded(self):
+        instr = make()
+        assert not instr.available_in(0, 100)
+        instr.avail_cycle[0] = 50
+        assert instr.available_in(0, 50)
+        assert instr.available_in(0, 100)
+        assert not instr.available_in(0, 49)
+        assert not instr.available_in(1, 100)
+
+    def test_waiters_partitioned_by_cluster(self):
+        producer = make(0)
+        a, b = make(1), make(2)
+        producer.add_waiter(0, a)
+        producer.add_waiter(2, b, is_data=True)
+        assert [w for w, _ in producer.waiters[0]] == [a]
+        assert producer.waiters[2] == [(b, True)]
+
+
+class TestIsProducer:
+    def test_none_is_not_producer(self):
+        assert not is_producer(None)
+
+    def test_inflight_is_producer(self):
+        assert is_producer(make())
+
+    def test_committed_is_not_producer(self):
+        instr = make()
+        instr.committed = True
+        assert not is_producer(instr)

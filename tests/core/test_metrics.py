@@ -1,0 +1,162 @@
+"""Tests for the Table 3/4 normalization arithmetic.
+
+The paper's own numbers provide exact fixtures: plugging Table 3's
+relative IPC / dynamic / leakage values into the normalization must
+regenerate its processor-energy and ED^2 columns.
+"""
+
+import pytest
+
+from repro.core.metrics import (
+    BenchmarkRun,
+    ModelResult,
+    RelativeMetrics,
+    relative_metrics,
+)
+
+
+def run(bench="x", instructions=1000, cycles=1000, dyn=100.0, lkg=100.0):
+    return BenchmarkRun(benchmark=bench, instructions=instructions,
+                        cycles=cycles, interconnect_dynamic=dyn,
+                        interconnect_leakage=lkg)
+
+
+def rm(ipc_ratio=1.0, dyn=1.0, lkg=1.0):
+    """RelativeMetrics with given relative values (baseline IPC = 1)."""
+    return RelativeMetrics(
+        model="T", description="", relative_metal_area=1.0,
+        am_ipc=ipc_ratio, relative_dynamic=dyn, relative_leakage=lkg,
+        relative_cycles=1.0 / ipc_ratio,
+    )
+
+
+class TestBenchmarkRun:
+    def test_ipc(self):
+        assert run(instructions=500, cycles=1000).ipc == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run(instructions=0)
+        with pytest.raises(ValueError):
+            run(cycles=0)
+
+    def test_extra_stats(self):
+        r = BenchmarkRun(benchmark="x", instructions=10, cycles=10,
+                         interconnect_dynamic=1.0, interconnect_leakage=1.0,
+                         extra=(("redirects", 3.0),))
+        assert r.extra_stats()["redirects"] == 3.0
+
+
+class TestModelResult:
+    def test_am_ipc_is_arithmetic_mean(self):
+        result = ModelResult(model="I", runs=(
+            run("a", 1000, 1000), run("b", 1000, 2000),
+        ))
+        assert result.am_ipc == pytest.approx((1.0 + 0.5) / 2)
+
+    def test_totals(self):
+        result = ModelResult(model="I", runs=(
+            run("a", dyn=10, lkg=20), run("b", dyn=30, lkg=40),
+        ))
+        assert result.total_dynamic == 40
+        assert result.total_leakage == 60
+
+    def test_run_for(self):
+        result = ModelResult(model="I", runs=(run("a"), run("b")))
+        assert result.run_for("b").benchmark == "b"
+        with pytest.raises(KeyError):
+            result.run_for("zzz")
+
+    def test_needs_runs(self):
+        with pytest.raises(ValueError):
+            ModelResult(model="I", runs=())
+
+
+class TestPaperArithmetic:
+    """Fixtures straight out of Table 3 (10% interconnect share)."""
+
+    def test_model_ii_row(self):
+        """IPC 0.92 vs 0.95, dyn 52, lkg 112 -> energy 97, ED^2 103.4."""
+        m = RelativeMetrics(
+            model="II", description="288 PW-Wires",
+            relative_metal_area=1.0, am_ipc=0.92,
+            relative_dynamic=0.52, relative_leakage=1.12,
+            relative_cycles=0.95 / 0.92,
+        )
+        assert m.processor_energy(0.10) == pytest.approx(97.0, abs=0.5)
+        assert m.ed2(0.10) == pytest.approx(103.4, abs=0.7)
+
+    def test_model_iv_row(self):
+        """IPC 0.98, dyn 99, lkg 194 -> energy 103, ED^2 96.6."""
+        m = RelativeMetrics(
+            model="IV", description="288 B-Wires",
+            relative_metal_area=2.0, am_ipc=0.98,
+            relative_dynamic=0.99, relative_leakage=1.94,
+            relative_cycles=0.95 / 0.98,
+        )
+        assert m.processor_energy(0.10) == pytest.approx(103.0, abs=0.5)
+        assert m.ed2(0.10) == pytest.approx(96.6, abs=0.7)
+
+    def test_model_vii_row(self):
+        """IPC 0.99, dyn 105, lkg 130 -> energy 101, ED^2 93.3."""
+        m = RelativeMetrics(
+            model="VII", description="144 B-Wires, 36 L-Wires",
+            relative_metal_area=2.0, am_ipc=0.99,
+            relative_dynamic=1.05, relative_leakage=1.30,
+            relative_cycles=0.95 / 0.99,
+        )
+        assert m.processor_energy(0.10) == pytest.approx(101.25, abs=0.5)
+        assert m.ed2(0.10) == pytest.approx(93.3, abs=0.7)
+
+    def test_model_iii_20pct_row(self):
+        """At 20% interconnect share Table 3 lists ED^2 92.1 for III."""
+        m = RelativeMetrics(
+            model="III", description="",
+            relative_metal_area=1.5, am_ipc=0.96,
+            relative_dynamic=0.61, relative_leakage=0.90,
+            relative_cycles=0.95 / 0.96,
+        )
+        assert m.ed2(0.20) == pytest.approx(92.1, abs=0.8)
+
+    def test_baseline_is_100(self):
+        m = rm()
+        assert m.processor_energy(0.10) == pytest.approx(100.0)
+        assert m.ed2(0.10) == pytest.approx(100.0)
+        assert m.ed2(0.20) == pytest.approx(100.0)
+
+
+class TestRelativeMetrics:
+    def test_normalization_against_baseline(self):
+        baseline = ModelResult(model="I", runs=(
+            run("a", 1000, 1000, dyn=100, lkg=100),
+        ))
+        other = ModelResult(model="II", runs=(
+            run("a", 1000, 1250, dyn=52, lkg=120),
+        ))
+        m = relative_metrics(other, baseline)
+        assert m.relative_dynamic == pytest.approx(0.52)
+        assert m.relative_leakage == pytest.approx(1.2)
+        assert m.relative_cycles == pytest.approx(1.25)
+
+    def test_requires_same_benchmarks(self):
+        a = ModelResult(model="I", runs=(run("a"),))
+        b = ModelResult(model="II", runs=(run("b"),))
+        with pytest.raises(ValueError):
+            relative_metrics(b, a)
+
+    def test_fraction_bounds(self):
+        m = rm()
+        with pytest.raises(ValueError):
+            m.processor_energy(0.0)
+        with pytest.raises(ValueError):
+            m.processor_energy(1.0)
+
+    def test_energy_monotone_in_interconnect_share(self):
+        """A power-hungry interconnect hurts more when it is a larger
+        share of chip energy."""
+        hungry = rm(dyn=2.0, lkg=2.0)
+        assert hungry.processor_energy(0.2) > hungry.processor_energy(0.1)
+
+    def test_ed2_penalizes_slowdown_quadratically(self):
+        slow = rm(ipc_ratio=0.5)
+        assert slow.ed2(0.10) == pytest.approx(100 * 4.0)

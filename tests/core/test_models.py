@@ -1,0 +1,78 @@
+"""Tests for the ten interconnect models of Tables 3 and 4."""
+
+import pytest
+
+from repro.core.models import (
+    MODEL_NAMES,
+    PAPER_METAL_AREA,
+    all_models,
+    model,
+)
+from repro.wires import WireClass
+
+
+class TestModelDefinitions:
+    def test_ten_models(self):
+        assert len(MODEL_NAMES) == 10
+        assert len(all_models()) == 10
+
+    def test_model_i_is_baseline(self):
+        assert model("I").config.wires == {WireClass.B: 144}
+
+    def test_model_descriptions(self):
+        assert model("I").description == "144 B-Wires"
+        assert model("II").description == "288 PW-Wires"
+        assert model("III").description == "144 PW-Wires, 36 L-Wires"
+        assert model("IV").description == "288 B-Wires"
+        assert model("V").description == "144 B-Wires, 288 PW-Wires"
+        assert model("VI").description == "288 PW-Wires, 36 L-Wires"
+        assert model("VII").description == "144 B-Wires, 36 L-Wires"
+        assert model("VIII").description == "432 B-Wires"
+        assert model("IX").description == "288 B-Wires, 36 L-Wires"
+        assert model("X").description == (
+            "144 B-Wires, 288 PW-Wires, 36 L-Wires"
+        )
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            model("XI")
+
+
+class TestMetalArea:
+    """The paper's 'Relative Metal Area' column must be *derivable* from
+    Table 2's per-wire area factors -- a consistency check between the
+    paper's Sections 3 and 5."""
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_derived_area_matches_paper(self, name):
+        assert model(name).relative_metal_area() == pytest.approx(
+            PAPER_METAL_AREA[name]
+        )
+
+    def test_lwire_budget_rule(self):
+        """36 L-Wires fit exactly where 144 B-Wires fit (Section 4:
+        '18 L-Wires occupy the same metal area as 72 B-Wires')."""
+        b_area = 144 * 2.0
+        l_area = 36 * 8.0
+        assert b_area == l_area
+
+
+class TestModelFamilies:
+    def test_same_area_groups(self):
+        groups = {
+            1.0: ("I", "II"),
+            1.5: ("III",),
+            2.0: ("IV", "V", "VI", "VII"),
+            3.0: ("VIII", "IX", "X"),
+        }
+        for area, names in groups.items():
+            for name in names:
+                assert model(name).relative_metal_area() == pytest.approx(area)
+
+    def test_heterogeneous_models_have_multiple_planes(self):
+        for name in ("III", "V", "VI", "VII", "IX", "X"):
+            assert len(model(name).config.wires) >= 2
+
+    def test_homogeneous_models_have_one_plane(self):
+        for name in ("I", "II", "IV", "VIII"):
+            assert len(model(name).config.wires) == 1

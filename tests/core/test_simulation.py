@@ -1,0 +1,70 @@
+"""Tests for the simulation drivers."""
+
+import pytest
+
+from repro.core.metrics import ModelResult
+from repro.core.models import model
+from repro.core.simulation import (
+    build_processor,
+    simulate_benchmark,
+    simulate_model,
+)
+
+
+class TestBuildProcessor:
+    def test_builds_and_prewarms(self):
+        cpu = build_processor(model("I").config, "gzip")
+        # Prewarm leaves the benchmark's working set resident in L2.
+        assert cpu.hierarchy.l2.contains(0x1000_0000)
+
+    def test_cluster_count(self):
+        cpu = build_processor(model("I").config, "gzip", num_clusters=16)
+        assert len(cpu.clusters) == 16
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ValueError):
+            build_processor(model("I").config, "quake3")
+
+
+class TestSimulateBenchmark:
+    def test_returns_measured_run(self):
+        run = simulate_benchmark(model("I").config, "gzip",
+                                 instructions=1500, warmup=500)
+        assert run.benchmark == "gzip"
+        assert run.instructions >= 1500
+        assert run.cycles > 0
+        assert run.interconnect_dynamic > 0
+        assert run.interconnect_leakage > 0
+        assert 0.05 < run.ipc < 8.0
+
+    def test_warmup_not_measured(self):
+        """Measured cycles must reflect only the measurement window."""
+        short = simulate_benchmark(model("I").config, "gzip",
+                                   instructions=1000, warmup=2000)
+        assert short.instructions < 1500 + 500
+
+    def test_seed_reproducibility(self):
+        a = simulate_benchmark(model("I").config, "mesa",
+                               instructions=1000, warmup=200, seed=5)
+        b = simulate_benchmark(model("I").config, "mesa",
+                               instructions=1000, warmup=200, seed=5)
+        assert a.cycles == b.cycles
+        assert a.interconnect_dynamic == b.interconnect_dynamic
+
+    def test_extra_stats_present(self):
+        run = simulate_benchmark(model("VII").config, "gzip",
+                                 instructions=1000, warmup=300)
+        extra = run.extra_stats()
+        for key in ("redirects", "loads", "stores", "false_dependences",
+                    "narrow_coverage", "early_ram_starts"):
+            assert key in extra
+        assert extra["early_ram_starts"] > 0  # L-Wires enable the pipeline
+
+
+class TestSimulateModel:
+    def test_subset_of_benchmarks(self):
+        result = simulate_model(model("I"), benchmarks=("gzip", "mesa"),
+                                instructions=800, warmup=200)
+        assert isinstance(result, ModelResult)
+        assert {r.benchmark for r in result.runs} == {"gzip", "mesa"}
+        assert result.am_ipc > 0

@@ -1,0 +1,158 @@
+"""Tests for the branch predictors and BTB (Table 1 front end)."""
+
+import random
+
+import pytest
+
+from repro.frontend.bpred import (
+    BimodalPredictor,
+    BranchTargetBuffer,
+    CombinedPredictor,
+    SaturatingCounterTable,
+    TwoLevelPredictor,
+)
+
+
+class TestSaturatingCounters:
+    def test_counter_saturates_high(self):
+        t = SaturatingCounterTable(16, initial=0)
+        for _ in range(10):
+            t.update(3, True)
+        assert t.counter(3) == 3
+
+    def test_counter_saturates_low(self):
+        t = SaturatingCounterTable(16, initial=3)
+        for _ in range(10):
+            t.update(3, False)
+        assert t.counter(3) == 0
+
+    def test_hysteresis(self):
+        """From strongly-taken, one not-taken flips the counter but not
+        the prediction."""
+        t = SaturatingCounterTable(16, initial=3)
+        t.update(5, False)
+        assert t.predict(5)
+        t.update(5, False)
+        assert not t.predict(5)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            SaturatingCounterTable(100)
+
+    def test_rejects_bad_initial(self):
+        with pytest.raises(ValueError):
+            SaturatingCounterTable(16, initial=4)
+
+
+class TestBimodal:
+    def test_learns_biased_branch(self):
+        p = BimodalPredictor(1024)
+        for _ in range(4):
+            p.update(0x400000, True)
+        assert p.predict(0x400000)
+
+    def test_distinct_pcs_independent(self):
+        p = BimodalPredictor(1024)
+        for _ in range(4):
+            p.update(0x400000, True)
+            p.update(0x400004, False)
+        assert p.predict(0x400000)
+        assert not p.predict(0x400004)
+
+
+class TestTwoLevel:
+    def test_learns_alternating_pattern(self):
+        """A bimodal predictor cannot learn T/N/T/N; the 2-level can."""
+        two = TwoLevelPredictor(1024, 12, 1024)
+        bim = BimodalPredictor(1024)
+        pattern = [True, False] * 200
+        correct_two = correct_bim = 0
+        for taken in pattern:
+            correct_two += two.predict(0x400100) == taken
+            correct_bim += bim.predict(0x400100) == taken
+            two.update(0x400100, taken)
+            bim.update(0x400100, taken)
+        assert correct_two > 350  # near-perfect after warmup
+        assert correct_bim < 250
+
+    def test_learns_loop_exit_pattern(self):
+        """Taken k times then not-taken, repeating: history catches the
+        exit for short loops."""
+        two = TwoLevelPredictor(1024, 12, 4096)
+        outcomes = ([True] * 5 + [False]) * 120
+        correct = 0
+        for taken in outcomes:
+            correct += two.predict(0x400200) == taken
+            two.update(0x400200, taken)
+        assert correct / len(outcomes) > 0.9
+
+    def test_rejects_zero_history(self):
+        with pytest.raises(ValueError):
+            TwoLevelPredictor(history_bits=0)
+
+
+class TestCombined:
+    def test_chooser_picks_the_better_component(self):
+        p = CombinedPredictor(1024, 1024, 12, 1024, 1024)
+        # Alternating pattern: 2-level wins, chooser should migrate.
+        for _ in range(300):
+            for taken in (True, False):
+                p.predict_and_train(0x400300, taken)
+        correct = 0
+        for taken in (True, False) * 50:
+            correct += p.predict(0x400300) == taken
+            p.update(0x400300, taken)
+        assert correct > 90
+
+    def test_accuracy_tracking(self):
+        p = CombinedPredictor(1024, 1024, 12, 1024, 1024)
+        for _ in range(100):
+            p.predict_and_train(0x400400, True)
+        assert p.lookups == 100
+        assert p.accuracy > 0.9
+
+    def test_accuracy_with_no_lookups(self):
+        assert CombinedPredictor().accuracy == 1.0
+
+    def test_biased_branches_highly_predictable(self):
+        p = CombinedPredictor()
+        rng = random.Random(1)
+        correct = 0
+        n = 2000
+        for _ in range(n):
+            pc = 0x400000 + 4 * rng.randrange(64)
+            taken = rng.random() < 0.95
+            correct += p.predict_and_train(pc, taken) == taken
+        assert correct / n > 0.85
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(64, 2)
+        assert btb.lookup(0x400000) is None
+        btb.install(0x400000, 0x400800)
+        assert btb.lookup(0x400000) == 0x400800
+
+    def test_update_existing_entry(self):
+        btb = BranchTargetBuffer(64, 2)
+        btb.install(0x400000, 0x400800)
+        btb.install(0x400000, 0x400900)
+        assert btb.lookup(0x400000) == 0x400900
+
+    def test_two_way_associativity(self):
+        btb = BranchTargetBuffer(4, 2)
+        # Three pcs mapping to the same set: LRU evicts the oldest.
+        pcs = [0x1000, 0x1000 + 4 * 4, 0x1000 + 8 * 4]
+        btb.install(pcs[0], 1)
+        btb.install(pcs[1], 2)
+        btb.lookup(pcs[0])  # refresh LRU
+        btb.install(pcs[2], 3)
+        assert btb.lookup(pcs[0]) == 1
+        assert btb.lookup(pcs[1]) is None  # evicted
+        assert btb.lookup(pcs[2]) == 3
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(100, 2)
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(64, 0)

@@ -1,0 +1,110 @@
+"""Tests for the experiment runner and its result cache."""
+
+import pytest
+
+from repro.core.metrics import BenchmarkRun
+from repro.harness.runner import ExperimentPlan, ExperimentRunner, ResultCache
+
+
+def make_run(bench="gzip"):
+    return BenchmarkRun(
+        benchmark=bench, instructions=1000, cycles=1200,
+        interconnect_dynamic=123.0, interconnect_leakage=456.0,
+        extra=(("redirects", 3.0),),
+    )
+
+
+class TestPlanKeys:
+    def test_identical_plans_same_key(self):
+        a = ExperimentPlan("I", "gzip")
+        b = ExperimentPlan("I", "gzip")
+        assert a.cache_key() == b.cache_key()
+
+    def test_any_field_changes_key(self):
+        base = ExperimentPlan("I", "gzip")
+        variants = [
+            ExperimentPlan("II", "gzip"),
+            ExperimentPlan("I", "mesa"),
+            ExperimentPlan("I", "gzip", num_clusters=16),
+            ExperimentPlan("I", "gzip", latency_scale=2.0),
+            ExperimentPlan("I", "gzip", instructions=999),
+            ExperimentPlan("I", "gzip", warmup=7),
+            ExperimentPlan("I", "gzip", seed=1),
+            ExperimentPlan("I", "gzip", policy_tag="ablate"),
+        ]
+        keys = {v.cache_key() for v in variants}
+        assert base.cache_key() not in keys
+        assert len(keys) == len(variants)
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        plan = ExperimentPlan("I", "gzip")
+        assert cache.load(plan) is None
+        run = make_run()
+        cache.store(plan, run)
+        loaded = cache.load(plan)
+        assert loaded == run
+
+    def test_corrupt_file_ignored(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        plan = ExperimentPlan("I", "gzip")
+        cache.store(plan, make_run())
+        cache._path(plan).write_text("{not json")
+        assert cache.load(plan) is None
+
+    def test_disabled_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        cache = ResultCache(tmp_path)
+        plan = ExperimentPlan("I", "gzip")
+        cache.store(plan, make_run())
+        assert cache.load(plan) is None
+        assert not list(tmp_path.iterdir())
+
+
+class TestRunner:
+    def test_cache_hit_avoids_simulation(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        plan = ExperimentPlan("I", "gzip", instructions=800, warmup=200)
+        cache.store(plan, make_run())
+        runner = ExperimentRunner(cache=cache, verbose=False)
+        run = runner.run(plan)
+        assert runner.cache_hits == 1
+        assert runner.executed == 0
+        assert run.cycles == 1200
+
+    def test_executes_and_caches_on_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = ExperimentRunner(cache=cache, verbose=False)
+        plan = ExperimentPlan("I", "gzip", instructions=600, warmup=150)
+        first = runner.run(plan)
+        assert runner.executed == 1
+        second = runner.run(plan)
+        assert runner.cache_hits == 1
+        assert second == first
+
+    def test_run_model_aggregates(self, tmp_path):
+        runner = ExperimentRunner(cache=ResultCache(tmp_path),
+                                  verbose=False)
+        result = runner.run_model("I", benchmarks=("gzip", "mesa"),
+                                  instructions=500, warmup=100)
+        assert result.model == "I"
+        assert {r.benchmark for r in result.runs} == {"gzip", "mesa"}
+
+    def test_run_model_with_flags_distinct_cache(self, tmp_path):
+        from repro.interconnect.selection import PolicyFlags
+        runner = ExperimentRunner(cache=ResultCache(tmp_path),
+                                  verbose=False)
+        ablated = PolicyFlags(lwire_narrow=False)
+        a = runner.run_model_with_flags(
+            "VII", PolicyFlags(), "default", benchmarks=("gzip",),
+            instructions=500, warmup=100,
+        )
+        b = runner.run_model_with_flags(
+            "VII", ablated, "no_narrow", benchmarks=("gzip",),
+            instructions=500, warmup=100,
+        )
+        assert runner.executed == 2  # distinct tags, no false sharing
+        assert a.model == "VII:default"
+        assert b.model == "VII:no_narrow"

@@ -1,0 +1,95 @@
+"""Tests for the sliding-window traffic-imbalance detector."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.interconnect.loadbalance import ImbalanceDetector, TrafficWindow
+from repro.wires import WireClass
+
+
+class TestTrafficWindow:
+    def test_counts_within_window(self):
+        w = TrafficWindow(window=5)
+        for c in range(3):
+            w.record(c, WireClass.B)
+        assert w.count(3, WireClass.B) == 3
+
+    def test_expires_old_events(self):
+        """At cycle 4 the window covers cycles 0..4; at cycle 5 it is 1..5
+        and the cycle-0 event has aged out."""
+        w = TrafficWindow(window=5)
+        w.record(0, WireClass.B)
+        assert w.count(4, WireClass.B) == 1
+        assert w.count(5, WireClass.B) == 0
+
+    def test_separate_planes(self):
+        w = TrafficWindow(window=5)
+        w.record(0, WireClass.B)
+        w.record(0, WireClass.PW)
+        w.record(1, WireClass.PW)
+        assert w.count(1, WireClass.B) == 1
+        assert w.count(1, WireClass.PW) == 2
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            TrafficWindow(window=0)
+
+    @given(events=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=50),
+                  st.sampled_from([WireClass.B, WireClass.PW])),
+        max_size=60,
+    ))
+    def test_count_matches_bruteforce(self, events):
+        """Window counts always equal a brute-force recount."""
+        events = sorted(events, key=lambda e: e[0])
+        w = TrafficWindow(window=5)
+        for cycle, wc in events:
+            w.record(cycle, wc)
+        probe = 50
+        for wc in (WireClass.B, WireClass.PW):
+            expected = sum(
+                1 for c, e in events if e is wc and c > probe - 5
+            )
+            assert w.count(probe, wc) == expected
+
+
+class TestImbalanceDetector:
+    def test_balanced_traffic_no_redirect(self):
+        d = ImbalanceDetector(window=5, threshold=10)
+        for c in range(5):
+            d.record(c, WireClass.B)
+            d.record(c, WireClass.PW)
+        assert d.redirect(4, WireClass.B, WireClass.PW) is None
+
+    def test_redirects_away_from_congested_plane(self):
+        """The paper's policy: difference beyond the threshold steers
+        transfers to the less congested interconnect."""
+        d = ImbalanceDetector(window=5, threshold=10)
+        for _ in range(12):
+            d.record(3, WireClass.B)
+        assert d.redirect(3, WireClass.B, WireClass.PW) is WireClass.PW
+
+    def test_redirects_in_both_directions(self):
+        d = ImbalanceDetector(window=5, threshold=10)
+        for _ in range(12):
+            d.record(3, WireClass.PW)
+        assert d.redirect(3, WireClass.B, WireClass.PW) is WireClass.B
+
+    def test_threshold_is_inclusive_boundary(self):
+        d = ImbalanceDetector(window=5, threshold=10)
+        for _ in range(10):
+            d.record(0, WireClass.B)
+        assert d.redirect(0, WireClass.B, WireClass.PW) is None
+        d.record(0, WireClass.B)
+        assert d.redirect(0, WireClass.B, WireClass.PW) is WireClass.PW
+
+    def test_imbalance_expires_with_window(self):
+        d = ImbalanceDetector(window=5, threshold=10)
+        for _ in range(20):
+            d.record(0, WireClass.B)
+        assert d.redirect(0, WireClass.B, WireClass.PW) is WireClass.PW
+        assert d.redirect(20, WireClass.B, WireClass.PW) is None
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            ImbalanceDetector(threshold=-1)

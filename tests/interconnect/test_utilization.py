@@ -1,0 +1,93 @@
+"""Tests for the per-channel utilization report."""
+
+import pytest
+
+from repro.interconnect.message import Transfer, TransferKind
+from repro.interconnect.network import Network
+from repro.interconnect.plane import LinkComposition
+from repro.interconnect.topology import CrossbarTopology
+from repro.wires import WireClass
+
+
+def make_network(wires=None):
+    wires = wires or {WireClass.B: 144}
+    return Network(CrossbarTopology(4), LinkComposition(wires))
+
+
+def drive(net, transfers, cycles=20):
+    for cycle in range(cycles):
+        net.deliver_due(cycle)
+        for src, dst, at in transfers:
+            if at == cycle:
+                net.submit(Transfer(kind=TransferKind.OPERAND,
+                                    src=src, dst=dst), cycle)
+        net.tick(cycle)
+
+
+class TestUtilizationReport:
+    def test_empty_network_reports_nothing(self):
+        assert make_network().utilization_report() == []
+
+    def test_single_transfer_touches_both_channels(self):
+        net = make_network()
+        drive(net, [("c0", "c1", 0)])
+        report = {(r.channel, r.wire_class): r
+                  for r in net.utilization_report()}
+        assert ("c0:out", WireClass.B) in report
+        assert ("c1:in", WireClass.B) in report
+        out = report[("c0:out", WireClass.B)]
+        assert out.grants == 1
+        assert out.bits == 72
+        assert out.capacity_bits == 72
+        assert out.utilization == pytest.approx(1.0)  # 1-cycle window
+
+    def test_utilization_fraction_over_window(self):
+        net = make_network()
+        drive(net, [("c0", "c1", 0), ("c0", "c1", 4)])
+        report = {r.channel: r for r in net.utilization_report()
+                  if r.channel == "c0:out"}
+        # Two 72-bit grants over a 5-cycle observed window.
+        assert report["c0:out"].utilization == pytest.approx(2 / 5)
+
+    def test_explicit_window(self):
+        net = make_network()
+        drive(net, [("c0", "c1", 0)])
+        report = net.utilization_report(cycles=10)
+        out = [r for r in report if r.channel == "c0:out"][0]
+        assert out.utilization == pytest.approx(72 / 720)
+
+    def test_rejects_bad_window(self):
+        net = make_network()
+        drive(net, [("c0", "c1", 0)])
+        with pytest.raises(ValueError):
+            net.utilization_report(cycles=0)
+
+    def test_sorted_busiest_first(self):
+        net = make_network()
+        drive(net, [("c0", "c1", 0), ("c0", "c2", 1), ("c3", "c1", 2)])
+        report = net.utilization_report()
+        utils = [r.utilization for r in report]
+        assert utils == sorted(utils, reverse=True)
+
+    def test_planes_reported_separately(self):
+        net = make_network({WireClass.B: 144, WireClass.L: 36})
+        for cycle in range(5):
+            net.deliver_due(cycle)
+            if cycle == 0:
+                net.submit(Transfer(kind=TransferKind.OPERAND,
+                                    src="c0", dst="c1"), 0)
+                net.submit(Transfer(kind=TransferKind.MISPREDICT,
+                                    src="c0", dst="cache"), 0)
+            net.tick(cycle)
+        planes = {(r.channel, r.wire_class)
+                  for r in net.utilization_report()}
+        assert ("c0:out", WireClass.B) in planes
+        assert ("c0:out", WireClass.L) in planes
+
+    def test_saturated_channel_reports_full_utilization(self):
+        net = make_network()
+        # Ten back-to-back transfers saturate c0:out for ten cycles.
+        drive(net, [("c0", "c1", 0)] * 10, cycles=15)
+        out = [r for r in net.utilization_report()
+               if r.channel == "c0:out"][0]
+        assert out.utilization == pytest.approx(1.0)

@@ -1,0 +1,132 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.cache import SetAssocCache
+
+
+def make_cache(size=1024, assoc=2, line=32):
+    return SetAssocCache(size, assoc, line, name="test")
+
+
+class TestBasics:
+    def test_first_access_misses_then_hits(self):
+        cache = make_cache()
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+
+    def test_same_line_hits(self):
+        cache = make_cache(line=32)
+        cache.access(0x1000)
+        assert cache.access(0x101F)
+        assert not cache.access(0x1020)
+
+    def test_miss_without_allocate(self):
+        cache = make_cache()
+        assert not cache.access(0x1000, allocate=False)
+        assert not cache.access(0x1000)  # still not resident
+
+    def test_stats(self):
+        cache = make_cache()
+        cache.access(0x1000)
+        cache.access(0x1000)
+        cache.access(0x2000)
+        assert cache.accesses == 3
+        assert cache.misses == 2
+        assert cache.miss_rate == pytest.approx(2 / 3)
+
+    def test_miss_rate_empty(self):
+        assert make_cache().miss_rate == 0.0
+
+    def test_contains_is_non_destructive(self):
+        cache = make_cache()
+        cache.access(0x1000)
+        assert cache.contains(0x1000)
+        assert not cache.contains(0x2000)
+        assert cache.accesses == 1
+
+
+class TestLRU:
+    def test_lru_eviction(self):
+        cache = make_cache(size=64, assoc=2, line=32)  # one set
+        cache.access(0x0)
+        cache.access(0x1000)
+        cache.access(0x0)        # refresh 0x0
+        cache.access(0x2000)     # evicts 0x1000
+        assert cache.contains(0x0)
+        assert not cache.contains(0x1000)
+        assert cache.contains(0x2000)
+
+    def test_associativity_bound(self):
+        cache = make_cache(size=128, assoc=4, line=32)  # one 4-way set
+        for i in range(4):
+            cache.access(i * 0x1000)
+        assert all(cache.contains(i * 0x1000) for i in range(4))
+        cache.access(4 * 0x1000)
+        assert not cache.contains(0)
+
+
+class TestGeometry:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SetAssocCache(0, 2, 32)
+        with pytest.raises(ValueError):
+            SetAssocCache(1024, 2, 33)  # line not power of two
+        with pytest.raises(ValueError):
+            SetAssocCache(96, 4, 32)  # does not divide into sets
+
+    def test_table1_l1_dimensions(self):
+        l1 = SetAssocCache(32 * 1024, 4, 32, "L1D")
+        assert l1.num_sets == 256
+
+    def test_set_index_uses_ls_bits(self):
+        """The partial-address pipeline needs 8 bits for the L1 set index
+        (256 sets at 4-way, Table 1 sizes)."""
+        l1 = SetAssocCache(32 * 1024, 4, 32, "L1D")
+        assert l1.num_sets == 1 << 8
+        assert l1.set_index(0x1000) == l1.set_index(0x1000 + 256 * 32)
+
+
+class TestPrewarm:
+    def test_prewarmed_region_hits(self):
+        cache = make_cache(size=4096, assoc=4, line=32)
+        cache.prewarm_region(0x10000, 2048)
+        assert cache.contains(0x10000)
+        assert cache.contains(0x10000 + 2047)
+
+    def test_prewarm_oversized_region_keeps_tail(self):
+        """One sequential pass over a region larger than the cache leaves
+        the most recent lines resident."""
+        cache = make_cache(size=1024, assoc=2, line=32)
+        cache.prewarm_region(0x0, 8192)
+        assert cache.contains(8192 - 32)
+        assert not cache.contains(0x0)
+
+    def test_prewarm_empty_region_noop(self):
+        cache = make_cache()
+        cache.prewarm_region(0x1000, 0)
+        assert not cache.contains(0x1000)
+
+    def test_prewarm_matches_sequential_walk(self):
+        """Analytic prewarm must equal an actual line-by-line walk."""
+        base, size = 0x4000, 4096
+        analytic = make_cache(size=1024, assoc=2, line=32)
+        walked = make_cache(size=1024, assoc=2, line=32)
+        analytic.prewarm_region(base, size)
+        for addr in range(base, base + size, 32):
+            walked.access(addr)
+        for addr in range(base, base + size, 32):
+            assert analytic.contains(addr) == walked.contains(addr), hex(addr)
+
+    @given(base=st.integers(min_value=0, max_value=1 << 20),
+           size=st.integers(min_value=1, max_value=4096))
+    @settings(max_examples=30, deadline=None)
+    def test_prewarm_equivalence_property(self, base, size):
+        analytic = make_cache(size=512, assoc=2, line=64)
+        walked = make_cache(size=512, assoc=2, line=64)
+        analytic.prewarm_region(base, size)
+        for addr in range((base // 64) * 64, base + size, 64):
+            walked.access(addr)
+        for addr in range((base // 64) * 64, base + size, 64):
+            assert analytic.contains(addr) == walked.contains(addr)

@@ -1,0 +1,93 @@
+"""Tests for the banked memory hierarchy timing model."""
+
+import pytest
+
+from repro.memory.hierarchy import HierarchyConfig, HitLevel, MemoryHierarchy
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy()
+
+
+class TestBanks:
+    def test_word_interleaving(self, hierarchy):
+        assert hierarchy.bank_of(0x0) == 0
+        assert hierarchy.bank_of(0x8) == 1
+        assert hierarchy.bank_of(0x10) == 2
+        assert hierarchy.bank_of(0x18) == 3
+        assert hierarchy.bank_of(0x20) == 0
+
+    def test_bank_conflict_serializes(self, hierarchy):
+        first = hierarchy.reserve_bank(0x0, earliest=10)
+        second = hierarchy.reserve_bank(0x20, earliest=10)  # same bank
+        assert first == 10
+        assert second == 11
+
+    def test_different_banks_parallel(self, hierarchy):
+        a = hierarchy.reserve_bank(0x0, earliest=10)
+        b = hierarchy.reserve_bank(0x8, earliest=10)
+        assert a == b == 10
+
+    def test_bank_frees_after_cycle(self, hierarchy):
+        hierarchy.reserve_bank(0x0, earliest=10)
+        later = hierarchy.reserve_bank(0x0, earliest=50)
+        assert later == 50
+
+
+class TestLevels:
+    def test_l1_hit(self, hierarchy):
+        hierarchy.l1.access(0x1000)
+        level, extra = hierarchy.lookup_levels(0x1000)
+        assert level is HitLevel.L1
+        assert extra == 0
+
+    def test_l2_hit_costs_30(self, hierarchy):
+        hierarchy.l2.access(0x1000)
+        level, extra = hierarchy.lookup_levels(0x1000)
+        assert level is HitLevel.L2
+        assert extra == 30
+
+    def test_memory_costs_330(self, hierarchy):
+        level, extra = hierarchy.lookup_levels(0x999000)
+        assert level is HitLevel.MEMORY
+        assert extra == 330
+
+    def test_miss_allocates_up_the_hierarchy(self, hierarchy):
+        hierarchy.lookup_levels(0x5000)
+        level, _ = hierarchy.lookup_levels(0x5000)
+        assert level is HitLevel.L1
+
+
+class TestStoreCommit:
+    def test_store_uses_bank_and_allocates(self, hierarchy):
+        done = hierarchy.store_commit(0x3000, earliest=5)
+        assert done == 6
+        assert hierarchy.l1.contains(0x3000)
+        assert hierarchy.stores == 1
+
+    def test_store_bank_conflict(self, hierarchy):
+        hierarchy.store_commit(0x0, earliest=5)
+        done = hierarchy.store_commit(0x20, earliest=5)
+        assert done == 7
+
+
+class TestConfig:
+    def test_table1_defaults(self):
+        cfg = HierarchyConfig()
+        assert cfg.l1_size_bytes == 32 * 1024
+        assert cfg.l1_assoc == 4
+        assert cfg.l1_latency == 6
+        assert cfg.l1_banks == 4
+        assert cfg.l2_size_bytes == 8 * 1024 * 1024
+        assert cfg.l2_assoc == 8
+        assert cfg.l2_latency == 30
+        assert cfg.mem_latency == 300
+        assert cfg.tlb_entries == 128
+        assert cfg.page_size == 8192
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HierarchyConfig(l1_banks=3)
+        with pytest.raises(ValueError):
+            HierarchyConfig(l1_latency=0)

@@ -1,0 +1,54 @@
+"""Tests for the TLB model."""
+
+import pytest
+
+from repro.memory.tlb import TLB
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TLB(entries=128, page_size=8192, miss_penalty=30)
+        assert tlb.access(0x10000) == 30
+        assert tlb.access(0x10000) == 0
+
+    def test_same_page_hits(self):
+        tlb = TLB(page_size=8192)
+        tlb.access(0x10000)
+        assert tlb.access(0x10000 + 8191) == 0
+        assert tlb.access(0x10000 + 8192) > 0
+
+    def test_capacity_and_lru(self):
+        tlb = TLB(entries=4, page_size=8192, assoc=4, miss_penalty=30)
+        for i in range(4):
+            tlb.access(i * 8192)
+        for i in range(4):
+            assert tlb.access(i * 8192) == 0
+        tlb.access(4 * 8192)  # evicts page 0 (LRU was refreshed in order)
+        assert tlb.access(0) == 30
+
+    def test_reach_is_1mb_at_table1_sizes(self):
+        """128 entries x 8KB pages = 1 MB reach."""
+        tlb = TLB(entries=128, page_size=8192)
+        assert tlb.num_sets * tlb.assoc * tlb.page_size == 1 << 20
+
+    def test_index_bits_for_partial_transfer(self):
+        """Section 4: 4 TLB index bits at 128 entries, 8-way."""
+        tlb = TLB(entries=128, page_size=8192, assoc=8)
+        assert tlb.index_bits() == 4
+
+    def test_miss_rate(self):
+        tlb = TLB()
+        tlb.access(0x0)
+        tlb.access(0x0)
+        assert tlb.miss_rate == pytest.approx(0.5)
+        assert TLB().miss_rate == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TLB(entries=0)
+        with pytest.raises(ValueError):
+            TLB(entries=100, assoc=8)
+        with pytest.raises(ValueError):
+            TLB(page_size=1000)
+        with pytest.raises(ValueError):
+            TLB(miss_penalty=-1)

@@ -1,0 +1,114 @@
+"""Tests for the frequent-value compaction extension."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.operands.frequent import FrequentValueTable, frequent_value_coverage
+
+
+class TestFrequentValueTable:
+    def test_learns_a_hot_value(self):
+        table = FrequentValueTable(capacity=2, tracked=8)
+        for _ in range(20):
+            table.observe(0xDEAD)
+        table.observe(1)
+        assert table.contains(0xDEAD)
+        assert table.encode(0xDEAD) == 0
+
+    def test_encode_miss_returns_none(self):
+        table = FrequentValueTable()
+        table.observe(5)
+        assert table.encode(999) is None
+
+    def test_capacity_bounds_encodable_set(self):
+        table = FrequentValueTable(capacity=2, tracked=16)
+        for value, count in ((1, 10), (2, 8), (3, 5)):
+            for _ in range(count):
+                table.observe(value)
+        assert table.top_values() == [1, 2]
+        assert not table.contains(3)
+
+    def test_space_saving_eviction_promotes_new_hot_values(self):
+        """A value that becomes hot later must displace stale entries."""
+        table = FrequentValueTable(capacity=4, tracked=8)
+        for v in range(8):
+            table.observe(v)
+        for _ in range(50):
+            table.observe(100)
+        assert table.contains(100)
+
+    def test_index_bits(self):
+        assert FrequentValueTable(capacity=8).index_bits() == 3
+        assert FrequentValueTable(capacity=2).index_bits() == 1
+        # Tag (8) + index must fit the 18-bit L-Wire plane.
+        assert 8 + FrequentValueTable(capacity=8).index_bits() <= 18
+
+    def test_hit_rate_tracking(self):
+        table = FrequentValueTable(capacity=1, tracked=4)
+        for _ in range(10):
+            table.observe(7)
+        table.encode(7)
+        table.encode(8)
+        assert table.encodable_hits == 1
+        assert 0 < table.hit_rate <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrequentValueTable(capacity=0)
+        with pytest.raises(ValueError):
+            FrequentValueTable(capacity=8, tracked=4)
+
+    def test_determinism_for_replication(self):
+        """Identical observation streams must give identical tables --
+        the property that lets every cluster keep a coherent replica."""
+        rng = random.Random(3)
+        stream = [rng.randrange(50) for _ in range(2000)]
+        a, b = FrequentValueTable(), FrequentValueTable()
+        for v in stream:
+            a.observe(v)
+            b.observe(v)
+        assert a.top_values() == b.top_values()
+
+    @given(stream=st.lists(st.integers(min_value=0, max_value=20),
+                           max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_tracked_set_bounded(self, stream):
+        table = FrequentValueTable(capacity=4, tracked=8)
+        for v in stream:
+            table.observe(v)
+        assert len(table._counts) <= 8
+        assert len(table.top_values()) <= 4
+
+
+class TestOfflineCoverage:
+    def test_skewed_stream_high_coverage(self):
+        """A Zipf-ish stream reproduces Yang et al.'s ~50% top-8 share."""
+        rng = random.Random(11)
+        hot = list(range(8))
+        stream = []
+        for _ in range(5000):
+            if rng.random() < 0.55:
+                stream.append(rng.choice(hot))
+            else:
+                stream.append(rng.randrange(10_000))
+        assert frequent_value_coverage(stream, capacity=8) > 0.45
+
+    def test_uniform_stream_low_coverage(self):
+        rng = random.Random(12)
+        stream = [rng.randrange(10_000) for _ in range(5000)]
+        assert frequent_value_coverage(stream, capacity=8) < 0.1
+
+    def test_empty_stream(self):
+        assert frequent_value_coverage([], capacity=8) == 0.0
+
+    def test_generated_workloads_show_value_locality(self):
+        """The synthetic SPEC2k-like streams carry the frequent-value
+        locality the extension exploits."""
+        from repro.workloads import TraceGenerator, profile
+        gen = TraceGenerator(profile("gzip"), seed=42)
+        values = [rec.value for rec in gen.stream(15000)
+                  if rec.writes_int_register and rec.value_width > 10]
+        coverage = frequent_value_coverage(values, capacity=8)
+        assert coverage > 0.25

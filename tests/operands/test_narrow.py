@@ -1,0 +1,93 @@
+"""Tests for narrow-operand detection and the width predictor."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.operands.narrow import (
+    NarrowWidthPredictor,
+    count_leading_zeros,
+    fits_narrow,
+)
+
+
+class TestDetection:
+    def test_fits_narrow_range(self):
+        assert fits_narrow(0)
+        assert fits_narrow(1023)
+        assert not fits_narrow(1024)
+        assert not fits_narrow(-5)
+
+    def test_count_leading_zeros(self):
+        assert count_leading_zeros(0) == 64
+        assert count_leading_zeros(1) == 63
+        assert count_leading_zeros(1023) == 54
+        assert count_leading_zeros((1 << 64) - 1) == 0
+
+    def test_clz_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            count_leading_zeros(-1)
+        with pytest.raises(ValueError):
+            count_leading_zeros(1 << 64)
+
+    @given(value=st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_clz_consistent_with_narrow(self, value):
+        """A value is narrow iff it has at least 54 leading zeros."""
+        assert fits_narrow(value) == (count_leading_zeros(value) >= 54)
+
+
+class TestPredictor:
+    def test_predicts_only_when_saturated(self):
+        """The paper: predict narrow when the 2-bit counter equals three."""
+        p = NarrowWidthPredictor(64)
+        pc = 0x400000
+        assert not p.predict(pc)
+        p.observe(pc, True)
+        p.observe(pc, True)
+        assert not p.predict(pc)  # counter at 2, not saturated
+        p.observe(pc, True)
+        assert p.predict(pc)
+
+    def test_wide_result_decays(self):
+        p = NarrowWidthPredictor(64)
+        pc = 0x400000
+        for _ in range(3):
+            p.observe(pc, True)
+        p.observe(pc, False)
+        assert not p.predict(pc)
+
+    def test_paper_accuracy_on_consistent_stream(self):
+        """A stream where narrow-producing PCs are 97% consistent should
+        reach roughly the paper's 95% coverage / 2% false rate."""
+        p = NarrowWidthPredictor(8192)
+        rng = random.Random(7)
+        pcs = [0x400000 + 4 * i for i in range(200)]
+        narrow_pcs = set(pcs[:40])
+        for _ in range(20000):
+            pc = rng.choice(pcs)
+            if pc in narrow_pcs:
+                narrow = rng.random() < 0.97
+            else:
+                narrow = rng.random() < 0.02
+            p.predict_and_train(pc, narrow)
+        assert p.coverage > 0.85
+        assert p.false_narrow_rate < 0.08
+
+    def test_stats_on_empty(self):
+        p = NarrowWidthPredictor()
+        assert p.coverage == 0.0
+        assert p.false_narrow_rate == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NarrowWidthPredictor(100)
+        with pytest.raises(ValueError):
+            NarrowWidthPredictor(64, predict_at=4)
+
+    @given(outcomes=st.lists(st.booleans(), max_size=50))
+    def test_counter_stays_in_bounds(self, outcomes):
+        p = NarrowWidthPredictor(16)
+        for narrow in outcomes:
+            p.predict_and_train(0x400000, narrow)
+        assert 0 <= p._table[p._index(0x400000)] <= 3

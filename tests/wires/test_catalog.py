@@ -1,0 +1,128 @@
+"""Tests for Table 2: canonical values and their analytic derivation."""
+
+import math
+
+import pytest
+
+from repro.wires import (
+    CANONICAL_SPECS,
+    CROSSBAR_LATENCY,
+    RING_HOP_LATENCY,
+    WireClass,
+    WireSpec,
+    derive_wire_spec,
+    derived_delay_ratio_l_vs_w,
+    paper_delay_ratio_l_vs_w,
+    table2_rows,
+)
+
+
+class TestCanonicalTable2:
+    """The exact numbers of the paper's Table 2."""
+
+    def test_relative_delays(self):
+        assert CANONICAL_SPECS[WireClass.W].relative_delay == 1.0
+        assert CANONICAL_SPECS[WireClass.PW].relative_delay == 1.2
+        assert CANONICAL_SPECS[WireClass.B].relative_delay == 0.8
+        assert CANONICAL_SPECS[WireClass.L].relative_delay == 0.3
+
+    def test_crossbar_latencies(self):
+        assert CROSSBAR_LATENCY[WireClass.PW] == 3
+        assert CROSSBAR_LATENCY[WireClass.B] == 2
+        assert CROSSBAR_LATENCY[WireClass.L] == 1
+
+    def test_ring_hop_latencies(self):
+        assert RING_HOP_LATENCY[WireClass.PW] == 6
+        assert RING_HOP_LATENCY[WireClass.B] == 4
+        assert RING_HOP_LATENCY[WireClass.L] == 2
+
+    def test_relative_leakage(self):
+        assert CANONICAL_SPECS[WireClass.W].relative_leakage == 1.00
+        assert CANONICAL_SPECS[WireClass.PW].relative_leakage == 0.30
+        assert CANONICAL_SPECS[WireClass.B].relative_leakage == 0.55
+        assert CANONICAL_SPECS[WireClass.L].relative_leakage == 0.79
+
+    def test_relative_dynamic(self):
+        assert CANONICAL_SPECS[WireClass.W].relative_dynamic_energy == 1.00
+        assert CANONICAL_SPECS[WireClass.PW].relative_dynamic_energy == 0.30
+        assert CANONICAL_SPECS[WireClass.B].relative_dynamic_energy == 0.58
+        assert CANONICAL_SPECS[WireClass.L].relative_dynamic_energy == 0.84
+
+    def test_area_factors_match_section_3(self):
+        """18 L-Wires occupy the same metal area as 72 B-Wires, and a
+        B-Wire has twice the metal area of a W/PW-Wire."""
+        area = {wc: s.area_factor for wc, s in CANONICAL_SPECS.items()}
+        assert 18 * area[WireClass.L] == 72 * area[WireClass.B] / 2 * 2
+        assert area[WireClass.B] == 2 * area[WireClass.W]
+        assert area[WireClass.PW] == area[WireClass.W]
+
+    def test_rows_cover_all_classes_in_order(self):
+        rows = table2_rows()
+        assert [r.wire_class for r in rows] == [
+            WireClass.W, WireClass.PW, WireClass.B, WireClass.L,
+        ]
+        w_row = rows[0]
+        assert w_row.crossbar_latency is None  # W-Wires not deployed
+
+    def test_latency_ordering(self):
+        """L faster than B faster than PW, everywhere."""
+        for table in (CROSSBAR_LATENCY, RING_HOP_LATENCY):
+            assert table[WireClass.L] < table[WireClass.B] < table[WireClass.PW]
+
+
+class TestWireSpecValidation:
+    def test_rejects_nonpositive_fields(self):
+        with pytest.raises(ValueError):
+            WireSpec(WireClass.B, relative_delay=0.0,
+                     relative_dynamic_energy=1.0, relative_leakage=1.0,
+                     area_factor=1.0)
+
+    def test_wires_per_budget(self):
+        lspec = CANONICAL_SPECS[WireClass.L]
+        # 288 W-tracks (the Model I budget) fit 36 L-Wires.
+        assert lspec.wires_per_budget(288) == 36
+        bspec = CANONICAL_SPECS[WireClass.B]
+        assert bspec.wires_per_budget(288) == 144
+
+    def test_wires_per_budget_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CANONICAL_SPECS[WireClass.B].wires_per_budget(-1)
+
+
+class TestDerivation:
+    """The analytic RC models must preserve every qualitative ordering
+    the paper's mechanism choices rest on."""
+
+    @pytest.fixture(scope="class")
+    def derived(self):
+        return {wc: derive_wire_spec(wc) for wc in WireClass}
+
+    def test_delay_ordering(self, derived):
+        assert (derived[WireClass.L].relative_delay
+                < derived[WireClass.B].relative_delay
+                < derived[WireClass.W].relative_delay
+                < derived[WireClass.PW].relative_delay)
+
+    def test_pw_saves_energy(self, derived):
+        assert (derived[WireClass.PW].relative_dynamic_energy
+                < derived[WireClass.W].relative_dynamic_energy)
+        assert (derived[WireClass.PW].relative_leakage
+                < derived[WireClass.W].relative_leakage)
+
+    def test_l_wire_delay_near_paper_value(self, derived):
+        """Paper: Delay_L = 0.3 Delay_W (via R_L = 0.125 R_W, C_L = 0.8 C_W)."""
+        assert 0.15 < derived[WireClass.L].relative_delay < 0.5
+
+    def test_area_factors_derived_exactly(self, derived):
+        assert derived[WireClass.B].area_factor == pytest.approx(2.0)
+        assert derived[WireClass.L].area_factor == pytest.approx(8.0)
+        assert derived[WireClass.W].area_factor == pytest.approx(1.0)
+
+    def test_pw_delay_penalty_band(self, derived):
+        assert 1.0 < derived[WireClass.PW].relative_delay < 1.7
+
+    def test_sqrt_rc_ratio_near_paper(self):
+        assert paper_delay_ratio_l_vs_w() == pytest.approx(
+            math.sqrt(0.1), rel=1e-6
+        )
+        assert abs(derived_delay_ratio_l_vs_w() - paper_delay_ratio_l_vs_w()) < 0.2

@@ -1,0 +1,146 @@
+"""Tests for the RC wire geometry model (paper equations (1) and (2))."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.wires.geometry import (
+    EPS0,
+    WireGeometry,
+    delay_ratio,
+    minimum_width_geometry,
+)
+
+
+def nm(x):
+    return x * 1e-9
+
+
+@pytest.fixture
+def base():
+    return minimum_width_geometry(45.0)
+
+
+class TestResistance:
+    def test_equation_1_exact(self):
+        """R = rho / ((thickness - barrier) * (width - 2*barrier))."""
+        g = WireGeometry(width=nm(100), spacing=nm(100),
+                         thickness=nm(200), layer_spacing=nm(200),
+                         barrier=nm(5), rho=2.0e-8)
+        expected = 2.0e-8 / ((nm(200) - nm(5)) * (nm(100) - 2 * nm(5)))
+        assert g.resistance_per_m() == pytest.approx(expected)
+
+    def test_wider_wire_lower_resistance(self, base):
+        wide = base.scaled(width_factor=2.0)
+        assert wide.resistance_per_m() < base.resistance_per_m()
+
+    def test_width_8x_gives_roughly_one_eighth_r(self, base):
+        """The paper's L-Wire derivation: R_L ~ 0.125 R_W."""
+        lwire = base.scaled(width_factor=8.0, spacing_factor=8.0)
+        ratio = lwire.resistance_per_m() / base.resistance_per_m()
+        # Slightly below 1/8 because the fixed barrier is amortized.
+        assert 0.10 < ratio < 0.13
+
+    def test_rejects_width_smaller_than_barrier(self):
+        with pytest.raises(ValueError):
+            WireGeometry(width=nm(6), spacing=nm(45), thickness=nm(100),
+                         layer_spacing=nm(90), barrier=nm(4))
+
+    def test_rejects_nonpositive_spacing(self):
+        with pytest.raises(ValueError):
+            WireGeometry(width=nm(45), spacing=0.0, thickness=nm(100),
+                         layer_spacing=nm(90))
+
+
+class TestCapacitance:
+    def test_equation_2_structure(self):
+        """Capacitance decomposes into sidewall + vertical + fringe."""
+        g = WireGeometry(width=nm(100), spacing=nm(50), thickness=nm(200),
+                         layer_spacing=nm(100), miller_k=1.5,
+                         eps_horiz=3.0, eps_vert=2.0, fringe_per_m=1e-11)
+        sidewall = 2 * 1.5 * 3.0 * (nm(200) / nm(50))
+        vertical = 2 * 2.0 * (nm(100) / nm(100))
+        expected = EPS0 * (sidewall + vertical) + 1e-11
+        assert g.capacitance_per_m() == pytest.approx(expected)
+
+    def test_wider_spacing_lower_capacitance(self, base):
+        spaced = base.scaled(spacing_factor=3.0)
+        assert spaced.capacitance_per_m() < base.capacitance_per_m()
+
+    def test_wider_wire_slightly_higher_capacitance(self, base):
+        """Width raises the vertical plate term only -- a modest increase."""
+        wide = base.scaled(width_factor=2.0)
+        ratio = wide.capacitance_per_m() / base.capacitance_per_m()
+        assert 1.0 < ratio < 1.3
+
+
+class TestDelay:
+    def test_unbuffered_delay_quadratic_in_length(self, base):
+        d1 = base.unbuffered_delay(1e-3)
+        d2 = base.unbuffered_delay(2e-3)
+        assert d2 == pytest.approx(4 * d1)
+
+    def test_wide_spaced_wire_is_faster(self, base):
+        """Section 2: more metal area per wire means lower delay."""
+        fat = base.scaled(width_factor=4.0, spacing_factor=4.0)
+        assert delay_ratio(fat, base) < 1.0
+
+    def test_paper_lwire_delay_ratio(self, base):
+        """8x width/spacing lands near the paper's 0.3 relative delay."""
+        lwire = base.scaled(width_factor=8.0, spacing_factor=8.0)
+        ratio = delay_ratio(lwire, base)
+        assert 0.2 < ratio < 0.45
+
+
+class TestHelpers:
+    def test_pitch(self, base):
+        assert base.pitch == pytest.approx(base.width + base.spacing)
+
+    def test_tracks_per_metal_area(self, base):
+        fat = base.scaled(width_factor=8.0, spacing_factor=8.0)
+        assert fat.tracks_per_metal_area(base) == pytest.approx(1.0 / 8.0)
+
+    def test_minimum_width_rejects_bad_node(self):
+        with pytest.raises(ValueError):
+            minimum_width_geometry(0)
+
+    def test_scaled_rejects_nonpositive(self, base):
+        with pytest.raises(ValueError):
+            base.scaled(width_factor=0.0)
+
+
+class TestGeometryProperties:
+    @given(w=st.floats(min_value=1.2, max_value=16.0),
+           s=st.floats(min_value=1.0, max_value=16.0))
+    def test_rc_product_decreases_with_area(self, w, s):
+        """Growing width and spacing never increases the RC product."""
+        base = minimum_width_geometry(45.0)
+        scaled = base.scaled(width_factor=w, spacing_factor=s)
+        if w >= 1.0 and s >= 1.0:
+            assert scaled.rc_per_m2() <= base.rc_per_m2() * 1.2
+
+    @given(factor=st.floats(min_value=1.0, max_value=32.0))
+    def test_resistance_strictly_decreases_with_width(self, factor):
+        base = minimum_width_geometry(65.0)
+        wide = base.scaled(width_factor=factor)
+        if factor > 1.0:
+            assert wide.resistance_per_m() < base.resistance_per_m()
+        else:
+            assert wide.resistance_per_m() == pytest.approx(
+                base.resistance_per_m()
+            )
+
+    @given(nm_node=st.floats(min_value=20.0, max_value=250.0))
+    def test_delay_ratio_is_symmetric_inverse(self, nm_node):
+        a = minimum_width_geometry(nm_node)
+        b = a.scaled(width_factor=2.0, spacing_factor=3.0)
+        assert delay_ratio(a, b) == pytest.approx(1.0 / delay_ratio(b, a))
+        assert delay_ratio(a, a) == pytest.approx(1.0)
+
+    def test_delay_ratio_consistent_with_rc(self):
+        a = minimum_width_geometry(45.0)
+        b = a.scaled(width_factor=3.0, spacing_factor=2.0)
+        assert delay_ratio(b, a) == pytest.approx(
+            math.sqrt(b.rc_per_m2() / a.rc_per_m2())
+        )

@@ -1,0 +1,140 @@
+"""Tests for repeater insertion: delay-optimal and power-optimal designs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.wires.geometry import minimum_width_geometry
+from repro.wires.repeaters import (
+    RepeaterConfig,
+    optimal_repeater_config,
+    power_optimal_repeater_config,
+    repeated_wire_delay,
+    repeated_wire_dynamic_energy,
+    repeated_wire_leakage_power,
+)
+
+LENGTH = 10e-3  # 10 mm global wire
+
+
+@pytest.fixture
+def geom():
+    return minimum_width_geometry(45.0)
+
+
+@pytest.fixture
+def optimal(geom):
+    return optimal_repeater_config(geom)
+
+
+class TestRepeaterConfig:
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            RepeaterConfig(size=0, spacing=1e-3)
+
+    def test_rejects_bad_spacing(self):
+        with pytest.raises(ValueError):
+            RepeaterConfig(size=100, spacing=0)
+
+    def test_count_for_length(self):
+        cfg = RepeaterConfig(size=100, spacing=1e-3)
+        assert cfg.count_for(10e-3) == 10
+        assert cfg.count_for(10.5e-3) == 11
+        assert cfg.count_for(0.0) == 1
+
+    def test_count_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            RepeaterConfig(size=100, spacing=1e-3).count_for(-1.0)
+
+
+class TestOptimalConfig:
+    def test_optimal_size_is_large(self, optimal):
+        """Banerjee et al.: optimal repeaters are hundreds of times the
+        minimum inverter at sub-100nm nodes."""
+        assert optimal.size > 30
+
+    def test_optimal_is_a_delay_minimum(self, geom, optimal):
+        """Perturbing size or spacing in either direction never helps."""
+        best = repeated_wire_delay(geom, optimal, LENGTH)
+        for size_f in (0.5, 2.0):
+            for spacing_f in (0.5, 2.0):
+                perturbed = RepeaterConfig(
+                    size=optimal.size * size_f,
+                    spacing=optimal.spacing * spacing_f,
+                )
+                assert repeated_wire_delay(geom, perturbed, LENGTH) >= best
+
+    def test_repeated_delay_linear_in_length(self, geom, optimal):
+        d1 = repeated_wire_delay(geom, optimal, 5e-3)
+        d2 = repeated_wire_delay(geom, optimal, 10e-3)
+        assert d2 == pytest.approx(2 * d1, rel=0.15)
+
+    def test_repeated_beats_unbuffered_for_long_wires(self, geom, optimal):
+        assert repeated_wire_delay(geom, optimal, LENGTH) < (
+            geom.unbuffered_delay(LENGTH)
+        )
+
+
+class TestPowerOptimalConfig:
+    def test_smaller_and_sparser_than_optimal(self, geom, optimal):
+        pw = power_optimal_repeater_config(geom, delay_penalty=1.2)
+        assert pw.size < optimal.size
+        assert pw.spacing > optimal.spacing
+
+    def test_saves_energy(self, geom, optimal):
+        """The PW design point must spend less dynamic energy and leak
+        less than the delay-optimal wire."""
+        pw = power_optimal_repeater_config(geom, delay_penalty=1.2)
+        assert repeated_wire_dynamic_energy(geom, pw, LENGTH) < (
+            repeated_wire_dynamic_energy(geom, optimal, LENGTH)
+        )
+        assert repeated_wire_leakage_power(pw, LENGTH) < (
+            repeated_wire_leakage_power(optimal, LENGTH)
+        )
+
+    def test_costs_delay(self, geom, optimal):
+        pw = power_optimal_repeater_config(geom, delay_penalty=1.2)
+        assert repeated_wire_delay(geom, pw, LENGTH) > (
+            repeated_wire_delay(geom, optimal, LENGTH)
+        )
+
+    def test_delay_penalty_near_requested(self, geom, optimal):
+        """A 20% requested penalty should land within a loose band."""
+        pw = power_optimal_repeater_config(geom, delay_penalty=1.2)
+        ratio = repeated_wire_delay(geom, pw, LENGTH) / (
+            repeated_wire_delay(geom, optimal, LENGTH)
+        )
+        assert 1.05 < ratio < 1.6
+
+    def test_penalty_one_is_optimal(self, geom, optimal):
+        same = power_optimal_repeater_config(geom, delay_penalty=1.0)
+        assert same.size == pytest.approx(optimal.size)
+        assert same.spacing == pytest.approx(optimal.spacing)
+
+    def test_rejects_penalty_below_one(self, geom):
+        with pytest.raises(ValueError):
+            power_optimal_repeater_config(geom, delay_penalty=0.9)
+
+    @given(penalty=st.floats(min_value=1.0, max_value=3.0))
+    def test_energy_monotone_in_penalty(self, penalty):
+        """More allowed delay never costs more energy."""
+        geom = minimum_width_geometry(45.0)
+        base = power_optimal_repeater_config(geom, delay_penalty=1.0)
+        relaxed = power_optimal_repeater_config(geom, delay_penalty=penalty)
+        assert repeated_wire_dynamic_energy(geom, relaxed, LENGTH) <= (
+            repeated_wire_dynamic_energy(geom, base, LENGTH) * 1.001
+        )
+
+
+class TestEnergyModel:
+    def test_energy_scales_with_length(self, geom, optimal):
+        e1 = repeated_wire_dynamic_energy(geom, optimal, 5e-3)
+        e2 = repeated_wire_dynamic_energy(geom, optimal, 10e-3)
+        assert e2 == pytest.approx(2 * e1, rel=0.2)
+
+    def test_rejects_nonpositive_length(self, geom, optimal):
+        with pytest.raises(ValueError):
+            repeated_wire_dynamic_energy(geom, optimal, 0.0)
+        with pytest.raises(ValueError):
+            repeated_wire_delay(geom, optimal, -1.0)
+        with pytest.raises(ValueError):
+            repeated_wire_leakage_power(optimal, 0.0)

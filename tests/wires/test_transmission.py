@@ -1,0 +1,78 @@
+"""Tests for the transmission-line wire model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.wires.geometry import minimum_width_geometry
+from repro.wires.repeaters import optimal_repeater_config, repeated_wire_delay
+from repro.wires.transmission import (
+    SPEED_OF_LIGHT,
+    TransmissionLineSpec,
+    transmission_line_speedup,
+)
+
+
+class TestTransmissionLine:
+    def test_velocity_below_light_speed(self):
+        line = TransmissionLineSpec()
+        assert 0 < line.propagation_velocity() < SPEED_OF_LIGHT
+
+    def test_ideal_velocity_formula(self):
+        line = TransmissionLineSpec(relative_dielectric=4.0,
+                                    velocity_factor=1.0)
+        assert line.propagation_velocity() == pytest.approx(
+            SPEED_OF_LIGHT / 2.0
+        )
+
+    def test_delay_linear_in_length(self):
+        line = TransmissionLineSpec()
+        assert line.delay(20e-3) == pytest.approx(2 * line.delay(10e-3))
+
+    def test_zero_length_zero_delay(self):
+        assert TransmissionLineSpec().delay(0.0) == 0.0
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            TransmissionLineSpec().delay(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransmissionLineSpec(relative_dielectric=0.5)
+        with pytest.raises(ValueError):
+            TransmissionLineSpec(velocity_factor=0.0)
+        with pytest.raises(ValueError):
+            TransmissionLineSpec(width=-1.0)
+        with pytest.raises(ValueError):
+            TransmissionLineSpec(shield_overhead=-0.1)
+
+    def test_effective_pitch_charges_shields(self):
+        line = TransmissionLineSpec(width=2e-6, shield_overhead=2.0)
+        assert line.effective_pitch(2e-6) == pytest.approx(12e-6)
+
+    def test_effective_pitch_rejects_bad_spacing(self):
+        with pytest.raises(ValueError):
+            TransmissionLineSpec().effective_pitch(0.0)
+
+
+class TestSpeedupVsRC:
+    def test_faster_than_repeated_rc_wire(self):
+        """Chang et al.: transmission lines beat equally-wide RC wires;
+        the paper quotes a 4/3 factor at 180nm, growing at smaller nodes."""
+        geom = minimum_width_geometry(45.0).scaled(8.0, 8.0)
+        cfg = optimal_repeater_config(geom)
+        rc_delay = repeated_wire_delay(geom, cfg, 10e-3)
+        line = TransmissionLineSpec()
+        speedup = transmission_line_speedup(rc_delay, line, 10e-3)
+        assert speedup > 4.0 / 3.0
+
+    def test_rejects_nonpositive_rc_delay(self):
+        with pytest.raises(ValueError):
+            transmission_line_speedup(0.0, TransmissionLineSpec(), 1e-3)
+
+    @given(length=st.floats(min_value=1e-4, max_value=5e-2))
+    def test_speedup_scales_inverse_with_line_delay(self, length):
+        line = TransmissionLineSpec()
+        rc = 1e-9
+        assert transmission_line_speedup(rc, line, length) == pytest.approx(
+            rc / line.delay(length)
+        )

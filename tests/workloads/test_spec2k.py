@@ -1,0 +1,78 @@
+"""Tests for the 23 SPEC2k-like benchmark profiles."""
+
+import pytest
+
+from repro.workloads import TraceGenerator
+from repro.workloads.spec2k import BENCHMARK_NAMES, PROFILES, all_profiles, profile
+
+
+class TestSuiteShape:
+    def test_exactly_23_benchmarks(self):
+        """The paper uses 23 of the 26 SPEC2k programs."""
+        assert len(BENCHMARK_NAMES) == 23
+        assert len(PROFILES) == 23
+
+    def test_excluded_benchmarks_absent(self):
+        """Sixtrack, facerec and perlbmk were incompatible with the
+        paper's infrastructure."""
+        for missing in ("sixtrack", "facerec", "perlbmk"):
+            assert missing not in BENCHMARK_NAMES
+
+    def test_figure3_order(self):
+        assert BENCHMARK_NAMES[0] == "ammp"
+        assert BENCHMARK_NAMES[-1] == "wupwise"
+        assert list(BENCHMARK_NAMES) == sorted(BENCHMARK_NAMES)
+
+    def test_all_profiles_order_matches(self):
+        assert tuple(p.name for p in all_profiles()) == BENCHMARK_NAMES
+
+    def test_lookup(self):
+        assert profile("mcf").name == "mcf"
+        with pytest.raises(ValueError):
+            profile("doom3")
+
+
+class TestDiversity:
+    """The paper's conclusions rest on workload diversity; the profiles
+    must actually differ along the axes that matter."""
+
+    def test_fp_and_int_benchmarks_present(self):
+        fp = [n for n in BENCHMARK_NAMES if PROFILES[n].fp_frac > 0.2]
+        integer = [n for n in BENCHMARK_NAMES if PROFILES[n].fp_frac == 0.0]
+        assert len(fp) >= 10
+        assert len(integer) >= 8
+
+    def test_mcf_is_the_memory_monster(self):
+        mcf = profile("mcf")
+        assert mcf.working_set_kb == max(
+            p.working_set_kb for p in PROFILES.values()
+        )
+        assert mcf.pointer_frac >= 0.5
+
+    def test_streaming_fp_benchmarks(self):
+        for name in ("swim", "mgrid", "lucas", "applu"):
+            assert PROFILES[name].stream_frac >= 0.6
+            assert PROFILES[name].working_set_kb >= 4096
+
+    def test_branchy_int_benchmarks(self):
+        for name in ("gcc", "crafty"):
+            assert PROFILES[name].hard_branch_frac >= 0.05
+
+    def test_int_benchmarks_have_more_narrow_operands(self):
+        int_narrow = [PROFILES[n].narrow_static_frac
+                      for n in BENCHMARK_NAMES if PROFILES[n].fp_frac == 0]
+        fp_narrow = [PROFILES[n].narrow_static_frac
+                     for n in BENCHMARK_NAMES if PROFILES[n].fp_frac >= 0.5]
+        assert min(int_narrow) > max(fp_narrow)
+
+    def test_ilp_spread(self):
+        locs = [p.dep_locality for p in PROFILES.values()]
+        assert max(locs) - min(locs) > 0.3
+
+
+class TestProfilesGenerate:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_every_profile_streams(self, name):
+        gen = TraceGenerator(profile(name), seed=1)
+        records = list(gen.stream(300))
+        assert len(records) == 300

@@ -1,0 +1,68 @@
+"""Tests for instruction records and op classification."""
+
+import pytest
+
+from repro.workloads.trace import (
+    EXECUTION_LATENCY,
+    NO_REG,
+    NUM_ARCH_REGS,
+    InstructionRecord,
+    OpClass,
+)
+
+
+class TestOpClass:
+    def test_memory_classification(self):
+        assert OpClass.LOAD.is_memory
+        assert OpClass.STORE.is_memory
+        assert not OpClass.IALU.is_memory
+        assert not OpClass.BRANCH.is_memory
+
+    def test_fp_classification(self):
+        assert OpClass.FPALU.is_fp
+        assert OpClass.FPMUL.is_fp
+        assert not OpClass.IMUL.is_fp
+
+    def test_every_op_has_latency(self):
+        for op in OpClass:
+            assert EXECUTION_LATENCY[op] >= 1
+
+    def test_latency_ordering(self):
+        """Single-cycle ALU, multi-cycle multiply/FP (Simplescalar)."""
+        assert EXECUTION_LATENCY[OpClass.IALU] == 1
+        assert EXECUTION_LATENCY[OpClass.IMUL] > 1
+        assert (EXECUTION_LATENCY[OpClass.FPMUL]
+                > EXECUTION_LATENCY[OpClass.FPALU])
+
+
+class TestInstructionRecord:
+    def test_narrowness(self):
+        narrow = InstructionRecord(pc=0, op=OpClass.IALU, dest=3,
+                                   value_width=10)
+        wide = InstructionRecord(pc=0, op=OpClass.IALU, dest=3,
+                                 value_width=11)
+        no_dest = InstructionRecord(pc=0, op=OpClass.STORE, dest=NO_REG,
+                                    value_width=4)
+        assert narrow.is_narrow
+        assert not wide.is_narrow
+        assert not no_dest.is_narrow
+
+    def test_writes_int_register(self):
+        int_write = InstructionRecord(pc=0, op=OpClass.IALU, dest=5)
+        fp_write = InstructionRecord(pc=0, op=OpClass.FPALU,
+                                     dest=NUM_ARCH_REGS + 3)
+        none = InstructionRecord(pc=0, op=OpClass.BRANCH, dest=NO_REG)
+        assert int_write.writes_int_register
+        assert not fp_write.writes_int_register
+        assert not none.writes_int_register
+
+    def test_records_are_frozen(self):
+        rec = InstructionRecord(pc=0, op=OpClass.IALU, dest=5)
+        with pytest.raises(AttributeError):
+            rec.dest = 7
+
+    def test_records_are_hashable_and_comparable(self):
+        a = InstructionRecord(pc=4, op=OpClass.IALU, dest=5, srcs=(1,))
+        b = InstructionRecord(pc=4, op=OpClass.IALU, dest=5, srcs=(1,))
+        assert a == b
+        assert hash(a) == hash(b)
