@@ -15,10 +15,11 @@ from .core.models import MODEL_NAMES, all_models, model
 from .core.simulation import (
     DEFAULT_INSTRUCTIONS,
     DEFAULT_WARMUP,
-    simulate_benchmark,
 )
 from .harness import (
+    ExperimentPlan,
     ExperimentRunner,
+    ResultCache,
     render_claims,
     render_figure3,
     render_table,
@@ -45,6 +46,14 @@ def _add_window_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--benchmarks", nargs="*", default=None, metavar="NAME",
         help="benchmark subset (default: all 23)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="processes to fan cache misses across (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache for this invocation",
     )
 
 
@@ -112,12 +121,19 @@ def _cmd_table2() -> str:
     )
 
 
+def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
+    cache = ResultCache(enabled=not args.no_cache)
+    return ExperimentRunner(cache=cache, workers=args.workers)
+
+
 def _cmd_run(args: argparse.Namespace) -> str:
-    run = simulate_benchmark(
-        model(args.model).config, args.benchmark,
-        instructions=args.instructions, warmup=args.warmup,
+    runner = _make_runner(args)
+    plan = ExperimentPlan(
+        model_name=args.model, benchmark=args.benchmark,
         num_clusters=args.clusters, latency_scale=args.latency_scale,
+        instructions=args.instructions, warmup=args.warmup,
     )
+    run = runner.run_many([plan])[plan]
     lines = [
         f"model {args.model} ({model(args.model).description}), "
         f"{args.clusters} clusters, benchmark {args.benchmark}",
@@ -151,7 +167,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_cmd_run(args))
         return 0
 
-    runner = ExperimentRunner()
+    runner = _make_runner(args)
     kwargs = dict(benchmarks=args.benchmarks,
                   instructions=args.instructions, warmup=args.warmup)
     if command == "figure3":

@@ -1,6 +1,12 @@
 """Experiment harness: regenerates every table and figure of the paper."""
 
-from .runner import CACHE_VERSION, ExperimentPlan, ExperimentRunner, ResultCache
+from .runner import (
+    CACHE_VERSION,
+    ExperimentPlan,
+    ExperimentRunner,
+    ResultCache,
+    SweepSummary,
+)
 from .formatting import (
     percent_delta,
     render_bar_chart,
@@ -18,6 +24,7 @@ __all__ = [
     "ExperimentPlan",
     "ExperimentRunner",
     "ResultCache",
+    "SweepSummary",
     "percent_delta",
     "render_bar_chart",
     "render_table",

@@ -18,10 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ..core.metrics import ModelResult
 from ..core.simulation import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP
 from ..workloads.spec2k import BENCHMARK_NAMES
 from .paperdata import PAPER_CLAIMS
-from .runner import ExperimentRunner
+from .runner import ExperimentPlan, ExperimentRunner
 
 
 @dataclass(frozen=True)
@@ -41,18 +42,49 @@ class ClaimResult:
 def run_claims(runner: Optional[ExperimentRunner] = None,
                benchmarks: Optional[Sequence[str]] = None,
                instructions: int = DEFAULT_INSTRUCTIONS,
-               warmup: int = DEFAULT_WARMUP) -> Tuple[ClaimResult, ...]:
-    """Regenerate every scalar claim."""
+               warmup: int = DEFAULT_WARMUP,
+               workers: Optional[int] = None) -> Tuple[ClaimResult, ...]:
+    """Regenerate every scalar claim.
+
+    All six model sweeps (baseline/VII at 4 and 16 clusters, plus the
+    doubled-latency variants) are batched into one
+    :meth:`ExperimentRunner.run_many` call.
+    """
     runner = runner or ExperimentRunner()
     names = tuple(benchmarks or BENCHMARK_NAMES)
-    kw = dict(benchmarks=names, instructions=instructions, warmup=warmup)
 
-    base4 = runner.run_model("I", **kw)
-    slow4 = runner.run_model("I", latency_scale=2.0, **kw)
-    vii4 = runner.run_model("VII", **kw)
-    vii4_slow = runner.run_model("VII", latency_scale=2.0, **kw)
-    base16 = runner.run_model("I", num_clusters=16, **kw)
-    vii16 = runner.run_model("VII", num_clusters=16, **kw)
+    sweeps = {
+        "base4": ("I", 4, 1.0),
+        "slow4": ("I", 4, 2.0),
+        "vii4": ("VII", 4, 1.0),
+        "vii4_slow": ("VII", 4, 2.0),
+        "base16": ("I", 16, 1.0),
+        "vii16": ("VII", 16, 1.0),
+    }
+    plans = {
+        key: [
+            ExperimentPlan(model_name=model_name, benchmark=bench,
+                           num_clusters=clusters, latency_scale=scale,
+                           instructions=instructions, warmup=warmup)
+            for bench in names
+        ]
+        for key, (model_name, clusters, scale) in sweeps.items()
+    }
+    runs = runner.run_many(
+        [plan for per_sweep in plans.values() for plan in per_sweep],
+        workers=workers,
+    )
+
+    def sweep(key: str) -> ModelResult:
+        return ModelResult(model=sweeps[key][0],
+                           runs=tuple(runs[p] for p in plans[key]))
+
+    base4 = sweep("base4")
+    slow4 = sweep("slow4")
+    vii4 = sweep("vii4")
+    vii4_slow = sweep("vii4_slow")
+    base16 = sweep("base16")
+    vii16 = sweep("vii16")
 
     claims: List[ClaimResult] = [
         ClaimResult(

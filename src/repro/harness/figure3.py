@@ -15,7 +15,7 @@ from ..core.simulation import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP
 from ..workloads.spec2k import BENCHMARK_NAMES
 from .formatting import render_bar_chart, render_table
 from .paperdata import PAPER_CLAIMS
-from .runner import ExperimentRunner
+from .runner import ExperimentPlan, ExperimentRunner
 
 BASELINE_MODEL = "I"
 LWIRE_MODEL = "VII"
@@ -50,18 +50,25 @@ class Figure3Result:
 def run_figure3(runner: Optional[ExperimentRunner] = None,
                 benchmarks: Optional[Sequence[str]] = None,
                 instructions: int = DEFAULT_INSTRUCTIONS,
-                warmup: int = DEFAULT_WARMUP) -> Figure3Result:
-    """Regenerate Figure 3's data."""
+                warmup: int = DEFAULT_WARMUP,
+                workers: Optional[int] = None) -> Figure3Result:
+    """Regenerate Figure 3's data (both models in one parallel batch)."""
     runner = runner or ExperimentRunner()
     names = tuple(benchmarks or BENCHMARK_NAMES)
-    base = runner.run_model(BASELINE_MODEL, names,
-                            instructions=instructions, warmup=warmup)
-    lwire = runner.run_model(LWIRE_MODEL, names,
-                             instructions=instructions, warmup=warmup)
+
+    def plan(model_name: str, bench: str) -> ExperimentPlan:
+        return ExperimentPlan(model_name=model_name, benchmark=bench,
+                              instructions=instructions, warmup=warmup)
+
+    runs = runner.run_many(
+        [plan(m, n) for m in (BASELINE_MODEL, LWIRE_MODEL) for n in names],
+        workers=workers,
+    )
     return Figure3Result(
         benchmarks=names,
-        baseline_ipc=tuple(base.run_for(n).ipc for n in names),
-        lwire_ipc=tuple(lwire.run_for(n).ipc for n in names),
+        baseline_ipc=tuple(runs[plan(BASELINE_MODEL, n)].ipc
+                           for n in names),
+        lwire_ipc=tuple(runs[plan(LWIRE_MODEL, n)].ipc for n in names),
     )
 
 

@@ -1,10 +1,27 @@
-"""Experiment runner with on-disk result caching.
+"""Experiment runner with on-disk result caching and parallel sweeps.
 
 Every (model, benchmark, machine, window, seed) run is cached as JSON
 under ``.repro_cache/`` in the repository root (override with
 ``REPRO_CACHE_DIR``; set ``REPRO_NO_CACHE=1`` to disable).  The cache key
 includes a schema version -- bump :data:`CACHE_VERSION` when simulator
 changes invalidate old numbers.
+
+Cache files are written atomically (temp file + ``os.replace``) so
+concurrent writers -- e.g. several :meth:`ExperimentRunner.run_many`
+workers, or two sweeps racing on the same directory -- can never leave a
+partial JSON file behind.  Loads are schema-validated: corrupt, truncated
+or wrong-version entries are quarantined under ``quarantine/`` and
+treated as misses, never returned as data.  Each entry written by this
+version carries a ``provenance`` block (cache version, the full plan,
+wall-clock duration, simulator commit); entries from older versions of
+this file lack it and are still accepted, since the cache key already
+pins :data:`CACHE_VERSION`.
+
+:meth:`ExperimentRunner.run_many` fans cache misses out over a
+``ProcessPoolExecutor`` -- simulations share no state and are
+deterministic for a fixed plan (seeded workload generation, no
+wall-clock coupling), so serial and parallel sweeps are bit-identical;
+``tests/harness/test_parallel.py`` enforces this.
 """
 
 from __future__ import annotations
@@ -12,9 +29,21 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import dataclass
+import subprocess
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Iterable, Optional, Sequence
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.config import InterconnectConfig
 from ..core.metrics import BenchmarkRun, ModelResult
@@ -30,6 +59,15 @@ from ..workloads.spec2k import BENCHMARK_NAMES
 
 #: Bump when simulator changes invalidate cached results.
 CACHE_VERSION = 4
+
+#: Required result fields and their acceptable JSON types.
+_RESULT_SCHEMA: Dict[str, tuple] = {
+    "benchmark": (str,),
+    "instructions": (int,),
+    "cycles": (int,),
+    "interconnect_dynamic": (int, float),
+    "interconnect_leakage": (int, float),
+}
 
 
 @dataclass(frozen=True)
@@ -54,32 +92,112 @@ class ExperimentPlan:
         )
         return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
+    def describe(self) -> str:
+        return (f"{self.model_name}/{self.benchmark} "
+                f"({self.num_clusters}cl, x{self.latency_scale:g}, "
+                f"{self.instructions}i, tag={self.policy_tag})")
+
+
+def _simulator_commit() -> str:
+    """Current git commit of the simulator tree, for provenance."""
+    global _COMMIT
+    if _COMMIT is None:
+        root = Path(__file__).resolve().parents[3]
+        try:
+            _COMMIT = subprocess.run(
+                ["git", "-C", str(root), "rev-parse", "HEAD"],
+                capture_output=True, text=True, timeout=5, check=True,
+            ).stdout.strip() or "unknown"
+        except (OSError, subprocess.SubprocessError):
+            _COMMIT = "unknown"
+    return _COMMIT
+
+
+_COMMIT: Optional[str] = None
+
 
 class ResultCache:
-    """JSON-file cache of :class:`BenchmarkRun` results."""
+    """JSON-file cache of :class:`BenchmarkRun` results.
 
-    def __init__(self, directory: Optional[Path] = None) -> None:
+    Writes are atomic; loads are schema-validated.  Files that parse but
+    fail validation (truncated rewrite, wrong ``cache_version``, missing
+    or mistyped fields) are moved into a ``quarantine/`` subdirectory so
+    they can be inspected without ever being served as results.
+    """
+
+    def __init__(self, directory: Optional[Path] = None,
+                 enabled: Optional[bool] = None) -> None:
         if directory is None:
             directory = Path(
                 os.environ.get("REPRO_CACHE_DIR",
                                Path(__file__).resolve().parents[3]
                                / ".repro_cache")
             )
-        self.directory = directory
-        self.enabled = os.environ.get("REPRO_NO_CACHE", "") != "1"
+        self.directory = Path(directory)
+        if os.environ.get("REPRO_NO_CACHE", "") == "1":
+            self.enabled = False
+        elif enabled is None:
+            self.enabled = True
+        else:
+            self.enabled = enabled
 
     def _path(self, plan: ExperimentPlan) -> Path:
         return self.directory / f"{plan.cache_key()}.json"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a bad cache file out of the way (best effort)."""
+        try:
+            qdir = self.directory / "quarantine"
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _validate(data: object) -> Optional[Dict]:
+        """The parsed payload if it matches the schema, else ``None``."""
+        if not isinstance(data, dict):
+            return None
+        for key, types in _RESULT_SCHEMA.items():
+            value = data.get(key)
+            if not isinstance(value, types) or isinstance(value, bool):
+                return None
+        extra = data.get("extra", [])
+        if not isinstance(extra, list):
+            return None
+        for pair in extra:
+            if (not isinstance(pair, (list, tuple)) or len(pair) != 2
+                    or not isinstance(pair[0], str)
+                    or not isinstance(pair[1], (int, float))
+                    or isinstance(pair[1], bool)):
+                return None
+        # Entries written before provenance existed carry no version
+        # field; the cache key already pins CACHE_VERSION, so only an
+        # explicit mismatch (e.g. a hand-copied file) is rejected.
+        provenance = data.get("provenance")
+        if provenance is not None:
+            if (not isinstance(provenance, dict)
+                    or provenance.get("cache_version") != CACHE_VERSION):
+                return None
+        return data
 
     def load(self, plan: ExperimentPlan) -> Optional[BenchmarkRun]:
         if not self.enabled:
             return None
         path = self._path(plan)
-        if not path.exists():
+        try:
+            text = path.read_text()
+        except OSError:
             return None
         try:
-            data = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+            data = self._validate(json.loads(text))
+        except json.JSONDecodeError:
+            data = None
+        if data is None:
+            self._quarantine(path)
             return None
         return BenchmarkRun(
             benchmark=data["benchmark"],
@@ -90,7 +208,8 @@ class ResultCache:
             extra=tuple((k, v) for k, v in data.get("extra", [])),
         )
 
-    def store(self, plan: ExperimentPlan, run: BenchmarkRun) -> None:
+    def store(self, plan: ExperimentPlan, run: BenchmarkRun,
+              duration: Optional[float] = None) -> None:
         if not self.enabled:
             return
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -101,19 +220,93 @@ class ResultCache:
             "interconnect_dynamic": run.interconnect_dynamic,
             "interconnect_leakage": run.interconnect_leakage,
             "extra": [list(pair) for pair in run.extra],
+            "provenance": {
+                "cache_version": CACHE_VERSION,
+                "plan": asdict(plan),
+                "duration_seconds": duration,
+                "simulator_commit": _simulator_commit(),
+            },
         }
-        self._path(plan).write_text(json.dumps(payload))
+        path = self._path(plan)
+        # Atomic publish: a same-directory temp file renamed over the
+        # target, so readers only ever see complete JSON.
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.name + ".", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(payload))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+
+def _execute_plan(
+    plan: ExperimentPlan,
+    interconnect_model: Optional[InterconnectModel] = None,
+) -> Tuple[BenchmarkRun, float]:
+    """Simulate one plan; also usable as a process-pool worker."""
+    if interconnect_model is None:
+        interconnect_model = model(plan.model_name)
+    start = time.perf_counter()
+    run = simulate_benchmark(
+        interconnect_model.config, plan.benchmark,
+        instructions=plan.instructions, warmup=plan.warmup,
+        num_clusters=plan.num_clusters, seed=plan.seed,
+        latency_scale=plan.latency_scale,
+    )
+    return run, time.perf_counter() - start
+
+
+@dataclass(frozen=True)
+class SweepSummary:
+    """What one :meth:`ExperimentRunner.run_many` sweep did."""
+
+    requested: int
+    unique: int
+    executed: int
+    cache_hits: int
+    total_duration: float
+    max_duration: float
+
+    def render(self) -> str:
+        return (f"sweep: {self.executed} executed, "
+                f"{self.cache_hits} cache hits"
+                + (f", {self.requested - self.unique} duplicate plans "
+                   f"coalesced" if self.requested != self.unique else "")
+                + (f"; sim time total {self.total_duration:.2f}s, "
+                   f"max {self.max_duration:.2f}s per run"
+                   if self.executed else ""))
 
 
 class ExperimentRunner:
-    """Executes experiment plans, consulting the cache first."""
+    """Executes experiment plans, consulting the cache first.
+
+    ``workers`` sets the default process fan-out for
+    :meth:`run_many`; 1 (the default) keeps everything in-process.
+    """
 
     def __init__(self, cache: Optional[ResultCache] = None,
-                 verbose: bool = True) -> None:
+                 verbose: bool = True, workers: int = 1) -> None:
         self.cache = cache or ResultCache()
         self.verbose = verbose
+        self.workers = max(1, workers)
         self.executed = 0
         self.cache_hits = 0
+        self.total_duration = 0.0
+        self.max_duration = 0.0
+        self.last_summary: Optional[SweepSummary] = None
+
+    def _record(self, plan: ExperimentPlan, run: BenchmarkRun,
+                duration: float) -> None:
+        self.executed += 1
+        self.total_duration += duration
+        self.max_duration = max(self.max_duration, duration)
+        self.cache.store(plan, run, duration=duration)
 
     def run(self, plan: ExperimentPlan,
             interconnect_model: Optional[InterconnectModel] = None
@@ -122,42 +315,95 @@ class ExperimentRunner:
         if cached is not None:
             self.cache_hits += 1
             return cached
-        if interconnect_model is None:
-            interconnect_model = model(plan.model_name)
         if self.verbose:
             print(f"  running {plan.model_name:>4s}/{plan.benchmark:<8s} "
                   f"({plan.num_clusters}cl, x{plan.latency_scale:g})",
                   flush=True)
-        run = simulate_benchmark(
-            interconnect_model.config, plan.benchmark,
-            instructions=plan.instructions, warmup=plan.warmup,
-            num_clusters=plan.num_clusters, seed=plan.seed,
-            latency_scale=plan.latency_scale,
-        )
-        self.executed += 1
-        self.cache.store(plan, run)
+        run, duration = _execute_plan(plan, interconnect_model)
+        self._record(plan, run, duration)
         return run
+
+    def run_many(
+        self,
+        plans: Sequence[ExperimentPlan],
+        workers: Optional[int] = None,
+        models: Optional[Mapping[ExperimentPlan, InterconnectModel]] = None,
+    ) -> Dict[ExperimentPlan, BenchmarkRun]:
+        """Run a batch of plans, fanning cache misses across processes.
+
+        Duplicate plans are coalesced and simulated once.  ``models``
+        optionally overrides the interconnect model per plan (used by
+        the policy-flag ablations).  Returns a plan -> run mapping
+        covering every distinct input plan; sets :attr:`last_summary`.
+        """
+        workers = self.workers if workers is None else max(1, workers)
+        unique: List[ExperimentPlan] = list(dict.fromkeys(plans))
+        results: Dict[ExperimentPlan, BenchmarkRun] = {}
+        misses: List[ExperimentPlan] = []
+        for plan in unique:
+            cached = self.cache.load(plan)
+            if cached is not None:
+                self.cache_hits += 1
+                results[plan] = cached
+            else:
+                misses.append(plan)
+
+        executed = 0
+        total = 0.0
+        peak = 0.0
+        if misses:
+            if self.verbose:
+                for plan in misses:
+                    print(f"  running {plan.describe()}", flush=True)
+            if workers > 1 and len(misses) > 1:
+                pool_size = min(workers, len(misses))
+                with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                    futures = [
+                        pool.submit(_execute_plan, plan,
+                                    models.get(plan) if models else None)
+                        for plan in misses
+                    ]
+                    outcomes = [f.result() for f in futures]
+            else:
+                outcomes = [
+                    _execute_plan(plan, models.get(plan) if models else None)
+                    for plan in misses
+                ]
+            for plan, (run, duration) in zip(misses, outcomes):
+                self._record(plan, run, duration)
+                results[plan] = run
+                executed += 1
+                total += duration
+                peak = max(peak, duration)
+
+        self.last_summary = SweepSummary(
+            requested=len(plans), unique=len(unique), executed=executed,
+            cache_hits=len(unique) - executed,
+            total_duration=total, max_duration=peak,
+        )
+        if self.verbose:
+            print(f"  {self.last_summary.render()}", flush=True)
+        return results
 
     def run_model(self, model_name: str,
                   benchmarks: Optional[Sequence[str]] = None,
                   num_clusters: int = 4, latency_scale: float = 1.0,
                   instructions: int = DEFAULT_INSTRUCTIONS,
                   warmup: int = DEFAULT_WARMUP,
-                  seed: int = DEFAULT_SEED) -> ModelResult:
-        names: Iterable[str] = benchmarks or BENCHMARK_NAMES
-        the_model = model(model_name)
-        runs = tuple(
-            self.run(
-                ExperimentPlan(
-                    model_name=model_name, benchmark=name,
-                    num_clusters=num_clusters, latency_scale=latency_scale,
-                    instructions=instructions, warmup=warmup, seed=seed,
-                ),
-                the_model,
+                  seed: int = DEFAULT_SEED,
+                  workers: Optional[int] = None) -> ModelResult:
+        names: Iterable[str] = tuple(benchmarks or BENCHMARK_NAMES)
+        plans = [
+            ExperimentPlan(
+                model_name=model_name, benchmark=name,
+                num_clusters=num_clusters, latency_scale=latency_scale,
+                instructions=instructions, warmup=warmup, seed=seed,
             )
             for name in names
-        )
-        return ModelResult(model=model_name, runs=runs)
+        ]
+        results = self.run_many(plans, workers=workers)
+        return ModelResult(model=model_name,
+                           runs=tuple(results[p] for p in plans))
 
     def run_model_with_flags(self, model_name: str, flags: PolicyFlags,
                              tag: str,
@@ -165,7 +411,8 @@ class ExperimentRunner:
                              num_clusters: int = 4,
                              instructions: int = DEFAULT_INSTRUCTIONS,
                              warmup: int = DEFAULT_WARMUP,
-                             seed: int = DEFAULT_SEED) -> ModelResult:
+                             seed: int = DEFAULT_SEED,
+                             workers: Optional[int] = None) -> ModelResult:
         """A model's link composition with modified policy flags.
 
         Used by the ablation benchmarks; ``tag`` names the flag variant
@@ -177,16 +424,16 @@ class ExperimentRunner:
             config=InterconnectConfig(wires=dict(base.config.wires),
                                       flags=flags),
         )
-        names: Iterable[str] = benchmarks or BENCHMARK_NAMES
-        runs = tuple(
-            self.run(
-                ExperimentPlan(
-                    model_name=model_name, benchmark=name,
-                    num_clusters=num_clusters, instructions=instructions,
-                    warmup=warmup, seed=seed, policy_tag=tag,
-                ),
-                custom,
+        names: Iterable[str] = tuple(benchmarks or BENCHMARK_NAMES)
+        plans = [
+            ExperimentPlan(
+                model_name=model_name, benchmark=name,
+                num_clusters=num_clusters, instructions=instructions,
+                warmup=warmup, seed=seed, policy_tag=tag,
             )
             for name in names
-        )
-        return ModelResult(model=f"{model_name}:{tag}", runs=runs)
+        ]
+        results = self.run_many(plans, workers=workers,
+                                models={p: custom for p in plans})
+        return ModelResult(model=f"{model_name}:{tag}",
+                           runs=tuple(results[p] for p in plans))

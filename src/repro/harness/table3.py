@@ -11,12 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.metrics import RelativeMetrics, relative_metrics
+from ..core.metrics import ModelResult, RelativeMetrics, relative_metrics
 from ..core.models import MODEL_NAMES, model
 from ..core.simulation import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP
+from ..workloads.spec2k import BENCHMARK_NAMES
 from .formatting import render_table
+from .runner import ExperimentPlan, ExperimentRunner
 from .paperdata import PAPER_TABLE3
-from .runner import ExperimentRunner
 
 
 @dataclass(frozen=True)
@@ -42,15 +43,34 @@ def run_table3(runner: Optional[ExperimentRunner] = None,
                num_clusters: int = 4,
                instructions: int = DEFAULT_INSTRUCTIONS,
                warmup: int = DEFAULT_WARMUP,
-               latency_scale: float = 1.0) -> TableResult:
-    """Regenerate Table 3 (or, with num_clusters=16, Table 4's runs)."""
+               latency_scale: float = 1.0,
+               workers: Optional[int] = None) -> TableResult:
+    """Regenerate Table 3 (or, with num_clusters=16, Table 4's runs).
+
+    The whole models x benchmarks cross product goes through
+    :meth:`ExperimentRunner.run_many` as one batch, so cache misses of
+    every model fan out across ``workers`` processes together.
+    """
     runner = runner or ExperimentRunner()
+    names = tuple(benchmarks or BENCHMARK_NAMES)
+    plans = {
+        name: [
+            ExperimentPlan(
+                model_name=name, benchmark=bench,
+                num_clusters=num_clusters, latency_scale=latency_scale,
+                instructions=instructions, warmup=warmup,
+            )
+            for bench in names
+        ]
+        for name in models
+    }
+    runs = runner.run_many(
+        [plan for per_model in plans.values() for plan in per_model],
+        workers=workers,
+    )
     results = {
-        name: runner.run_model(
-            name, benchmarks, num_clusters=num_clusters,
-            instructions=instructions, warmup=warmup,
-            latency_scale=latency_scale,
-        )
+        name: ModelResult(model=name,
+                          runs=tuple(runs[p] for p in plans[name]))
         for name in models
     }
     baseline = results["I"]

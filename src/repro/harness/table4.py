@@ -22,11 +22,12 @@ def run_table4(runner: Optional[ExperimentRunner] = None,
                benchmarks: Optional[Sequence[str]] = None,
                models: Sequence[str] = MODEL_NAMES,
                instructions: int = DEFAULT_INSTRUCTIONS,
-               warmup: int = DEFAULT_WARMUP) -> TableResult:
+               warmup: int = DEFAULT_WARMUP,
+               workers: Optional[int] = None) -> TableResult:
     """Regenerate Table 4 (16 clusters, hierarchical interconnect)."""
     return run_table3(runner=runner, benchmarks=benchmarks, models=models,
                       num_clusters=16, instructions=instructions,
-                      warmup=warmup)
+                      warmup=warmup, workers=workers)
 
 
 def render_table4(result: TableResult, include_paper: bool = True) -> str:

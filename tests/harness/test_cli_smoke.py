@@ -1,0 +1,109 @@
+"""Smoke tests for the ``python -m repro`` command-line interface."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+TINY = ["--instructions", "400", "--warmup", "100"]
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+class TestListingCommands:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "Model" in out and "Link composition" in out
+        assert "VII" in out
+
+    def test_benchmarks(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "Benchmark" in out and "gzip" in out and "mesa" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "L-Wires" in out and "Rel delay" in out
+
+
+class TestRunCommand:
+    def test_run_with_workers(self, capsys):
+        argv = ["run", "--model", "VII", "--benchmark", "gzip",
+                "--workers", "2", *TINY]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "benchmark gzip" in out
+
+    def test_run_hits_cache_on_second_invocation(self, capsys):
+        argv = ["run", "--benchmark", "gzip", *TINY]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "1 executed" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "1 cache hits" in second
+
+    def test_run_no_cache_skips_store(self, capsys, tmp_path):
+        argv = ["run", "--benchmark", "gzip", "--no-cache", *TINY]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert not (tmp_path / "cache").exists()
+        # Nothing was stored, so the same invocation re-executes.
+        assert main(argv) == 0
+        assert "1 executed" in capsys.readouterr().out
+
+
+class TestSweepCommands:
+    def test_table3_subset_with_workers(self, capsys):
+        argv = ["table3", "--benchmarks", "gzip", "--workers", "2", *TINY]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "ED2(10%)" in out
+        assert "sweep:" in out
+
+    def test_figure3_subset(self, capsys):
+        argv = ["figure3", "--benchmarks", "gzip", "mesa", *TINY]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "L-Wire" in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro_models(self, tmp_path):
+        env = dict(os.environ, REPRO_CACHE_DIR=str(tmp_path / "cache"))
+        env["PYTHONPATH"] = SRC + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "models"],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "Interconnect models" in proc.stdout
+
+    def test_python_dash_m_repro_run_workers(self, tmp_path):
+        env = dict(os.environ, REPRO_CACHE_DIR=str(tmp_path / "cache"))
+        env["PYTHONPATH"] = SRC + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "run", "--benchmark", "gzip",
+             "--workers", "2", *TINY],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "IPC" in proc.stdout

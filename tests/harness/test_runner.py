@@ -1,9 +1,17 @@
 """Tests for the experiment runner and its result cache."""
 
+import json
+import threading
+
 import pytest
 
 from repro.core.metrics import BenchmarkRun
-from repro.harness.runner import ExperimentPlan, ExperimentRunner, ResultCache
+from repro.harness.runner import (
+    CACHE_VERSION,
+    ExperimentPlan,
+    ExperimentRunner,
+    ResultCache,
+)
 
 
 def make_run(bench="gzip"):
@@ -47,12 +55,92 @@ class TestResultCache:
         loaded = cache.load(plan)
         assert loaded == run
 
+    def test_roundtrip_multiple_extra_pairs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        plan = ExperimentPlan("VII", "mesa")
+        run = BenchmarkRun(
+            benchmark="mesa", instructions=5000, cycles=4000,
+            interconnect_dynamic=9.5, interconnect_leakage=12.25,
+            extra=(("redirects", 3.0), ("loads", 1200.0),
+                   ("narrow_coverage", 0.953)),
+        )
+        cache.store(plan, run)
+        assert cache.load(plan) == run
+
     def test_corrupt_file_ignored(self, tmp_path):
         cache = ResultCache(tmp_path)
         plan = ExperimentPlan("I", "gzip")
         cache.store(plan, make_run())
         cache._path(plan).write_text("{not json")
         assert cache.load(plan) is None
+
+    def test_truncated_file_ignored_and_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        plan = ExperimentPlan("I", "gzip")
+        cache.store(plan, make_run())
+        full = cache._path(plan).read_text()
+        cache._path(plan).write_text(full[: len(full) // 2])
+        assert cache.load(plan) is None
+        assert not cache._path(plan).exists()
+        assert (tmp_path / "quarantine" / cache._path(plan).name).exists()
+        # A quarantined entry is a plain miss from then on.
+        assert cache.load(plan) is None
+
+    def test_missing_field_is_a_miss_not_a_crash(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        plan = ExperimentPlan("I", "gzip")
+        cache.store(plan, make_run())
+        data = json.loads(cache._path(plan).read_text())
+        del data["cycles"]
+        cache._path(plan).write_text(json.dumps(data))
+        assert cache.load(plan) is None
+
+    def test_mistyped_field_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        plan = ExperimentPlan("I", "gzip")
+        cache.store(plan, make_run())
+        data = json.loads(cache._path(plan).read_text())
+        data["cycles"] = "1200"
+        cache._path(plan).write_text(json.dumps(data))
+        assert cache.load(plan) is None
+
+    def test_wrong_cache_version_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        plan = ExperimentPlan("I", "gzip")
+        cache.store(plan, make_run())
+        data = json.loads(cache._path(plan).read_text())
+        data["provenance"]["cache_version"] = CACHE_VERSION - 1
+        cache._path(plan).write_text(json.dumps(data))
+        assert cache.load(plan) is None
+
+    def test_legacy_entry_without_provenance_still_loads(self, tmp_path):
+        # The 738 seed entries predate the provenance block; the cache
+        # key already pins CACHE_VERSION, so they must stay valid.
+        cache = ResultCache(tmp_path)
+        plan = ExperimentPlan("I", "gzip")
+        run = make_run()
+        cache._path(plan).parent.mkdir(parents=True, exist_ok=True)
+        cache._path(plan).write_text(json.dumps({
+            "benchmark": run.benchmark,
+            "instructions": run.instructions,
+            "cycles": run.cycles,
+            "interconnect_dynamic": run.interconnect_dynamic,
+            "interconnect_leakage": run.interconnect_leakage,
+            "extra": [list(pair) for pair in run.extra],
+        }))
+        assert cache.load(plan) == run
+
+    def test_corrupt_entry_is_reexecuted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        plan = ExperimentPlan("I", "gzip", instructions=400, warmup=100)
+        cache._path(plan).parent.mkdir(parents=True, exist_ok=True)
+        cache._path(plan).write_text("garbage garbage")
+        runner = ExperimentRunner(cache=cache, verbose=False)
+        run = runner.run(plan)
+        assert runner.executed == 1
+        assert run.instructions >= 400
+        # The re-execution replaced the bad entry with a good one.
+        assert cache.load(plan) == run
 
     def test_disabled_cache(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_NO_CACHE", "1")
@@ -61,6 +149,69 @@ class TestResultCache:
         cache.store(plan, make_run())
         assert cache.load(plan) is None
         assert not list(tmp_path.iterdir())
+
+    def test_env_no_cache_overrides_enabled_flag(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        cache = ResultCache(tmp_path, enabled=True)
+        assert not cache.enabled
+
+    def test_enabled_false_disables_without_env(self, tmp_path,
+                                                monkeypatch):
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        cache = ResultCache(tmp_path, enabled=False)
+        plan = ExperimentPlan("I", "gzip")
+        cache.store(plan, make_run())
+        assert cache.load(plan) is None
+        assert not list(tmp_path.iterdir())
+
+    def test_store_is_atomic_no_temp_files_left(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(20):
+            cache.store(ExperimentPlan("I", "gzip", seed=i), make_run())
+        names = [p.name for p in tmp_path.iterdir()]
+        assert len(names) == 20
+        assert all(n.endswith(".json") for n in names)
+
+    def test_concurrent_stores_never_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        plan = ExperimentPlan("I", "gzip")
+
+        def hammer(value):
+            run = BenchmarkRun(
+                benchmark="gzip", instructions=1000, cycles=1000 + value,
+                interconnect_dynamic=float(value),
+                interconnect_leakage=1.0,
+            )
+            for _ in range(25):
+                cache.store(plan, run)
+
+        threads = [threading.Thread(target=hammer, args=(v,))
+                   for v in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Exactly one file, and it parses as one of the writers' values.
+        files = list(tmp_path.glob("*"))
+        assert [f.name for f in files] == [cache._path(plan).name]
+        loaded = cache.load(plan)
+        assert loaded is not None
+        assert loaded.cycles in {1000, 1001, 1002, 1003}
+
+    def test_provenance_written(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        plan = ExperimentPlan("VII", "mesa", num_clusters=16,
+                              policy_tag="ablate")
+        cache.store(plan, make_run("mesa"), duration=1.25)
+        data = json.loads(cache._path(plan).read_text())
+        prov = data["provenance"]
+        assert prov["cache_version"] == CACHE_VERSION
+        assert prov["duration_seconds"] == 1.25
+        assert prov["plan"]["model_name"] == "VII"
+        assert prov["plan"]["num_clusters"] == 16
+        assert prov["plan"]["policy_tag"] == "ablate"
+        assert isinstance(prov["simulator_commit"], str)
 
 
 class TestRunner:
@@ -91,6 +242,37 @@ class TestRunner:
                                   instructions=500, warmup=100)
         assert result.model == "I"
         assert {r.benchmark for r in result.runs} == {"gzip", "mesa"}
+
+    def test_run_many_dedupes_and_summarizes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = ExperimentRunner(cache=cache, verbose=False)
+        a = ExperimentPlan("I", "gzip", instructions=400, warmup=100)
+        b = ExperimentPlan("I", "mesa", instructions=400, warmup=100)
+        cache.store(b, make_run("mesa"))
+        results = runner.run_many([a, b, a, a])
+        assert set(results) == {a, b}
+        assert runner.executed == 1
+        assert runner.cache_hits == 1
+        summary = runner.last_summary
+        assert summary.requested == 4
+        assert summary.unique == 2
+        assert summary.executed == 1
+        assert summary.cache_hits == 1
+        assert summary.total_duration >= summary.max_duration > 0
+        assert "1 executed" in summary.render()
+        assert "2 duplicate plans coalesced" in summary.render()
+
+    def test_run_many_warm_cache_executes_nothing(self, tmp_path):
+        runner = ExperimentRunner(cache=ResultCache(tmp_path),
+                                  verbose=False)
+        plans = [ExperimentPlan("I", b, instructions=400, warmup=100)
+                 for b in ("gzip", "mesa")]
+        cold = runner.run_many(plans)
+        assert runner.last_summary.executed == 2
+        warm = runner.run_many(plans)
+        assert runner.last_summary.executed == 0
+        assert runner.last_summary.cache_hits == 2
+        assert warm == cold
 
     def test_run_model_with_flags_distinct_cache(self, tmp_path):
         from repro.interconnect.selection import PolicyFlags
