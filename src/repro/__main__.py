@@ -14,24 +14,93 @@ from typing import List, Optional
 from .core.models import MODEL_NAMES, all_models, model
 from .core.simulation import (
     DEFAULT_INSTRUCTIONS,
+    DEFAULT_SEED,
     DEFAULT_WARMUP,
 )
+from .faults import FaultSpec, FaultSpecError
 from .harness import (
     ExperimentPlan,
     ExperimentRunner,
     ResultCache,
     render_claims,
+    render_faultsweep,
     render_figure3,
     render_table,
     render_table3,
     render_table4,
     run_claims,
+    run_faultsweep,
     run_figure3,
     run_table3,
     run_table4,
 )
 from .wires import table2_rows
 from .workloads.spec2k import BENCHMARK_NAMES, PROFILES
+
+
+def _positive_workers(text: str) -> int:
+    """argparse type: worker count, a whole number >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--workers expects a whole number of processes, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"--workers must be at least 1 (got {value}); use 1 for a "
+            f"serial run"
+        )
+    return value
+
+
+def _seed(text: str) -> int:
+    """argparse type: simulation seed, any integer."""
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--seed expects an integer (the workload RNG seed), "
+            f"got {text!r}"
+        ) from None
+
+
+def _positive_seconds(text: str) -> float:
+    """argparse type: a positive wall-clock duration in seconds."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a duration in seconds, got {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"duration must be positive seconds, got {value:g}"
+        )
+    return value
+
+
+def _retries(text: str) -> int:
+    """argparse type: retry count, a whole number >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--max-retries expects a whole number, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"--max-retries must be non-negative (got {value})"
+        )
+    return value
+
+
+def _fault_spec(text: str) -> str:
+    """argparse type: fault spec string, normalized to canonical form."""
+    try:
+        return FaultSpec.parse(text).canonical()
+    except FaultSpecError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _add_window_args(parser: argparse.ArgumentParser) -> None:
@@ -48,12 +117,35 @@ def _add_window_args(parser: argparse.ArgumentParser) -> None:
         help="benchmark subset (default: all 23)",
     )
     parser.add_argument(
-        "--workers", type=int, default=1, metavar="N",
+        "--seed", type=_seed, default=DEFAULT_SEED,
+        help=f"workload RNG seed (default: {DEFAULT_SEED})",
+    )
+    parser.add_argument(
+        "--workers", type=_positive_workers, default=1, metavar="N",
         help="processes to fan cache misses across (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--run-timeout", type=_positive_seconds, default=None,
+        metavar="SECONDS",
+        help="kill any single run exceeding this wall clock "
+             "(forces crash-isolated workers)",
+    )
+    parser.add_argument(
+        "--max-retries", type=_retries, default=0, metavar="N",
+        help="retries (with exponential backoff) for crashed or "
+             "timed-out workers before a run is declared failed",
     )
     parser.add_argument(
         "--no-cache", action="store_true",
         help="bypass the on-disk result cache for this invocation",
+    )
+
+
+def _add_fault_spec_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fault-spec", type=_fault_spec, default="", metavar="SPEC",
+        help="wire-fault injection spec, e.g. "
+             "'ber=1e-6;kill=L@*@2000;derate=PW:1.5;retries=4'",
     )
 
 
@@ -85,6 +177,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--clusters", type=int, default=4)
     p.add_argument("--latency-scale", type=float, default=1.0)
     _add_window_args(p)
+    _add_fault_spec_arg(p)
+
+    p = sub.add_parser(
+        "faults",
+        help="degradation sweep: one model under injected wire faults",
+    )
+    p.add_argument("--model", default="X", choices=MODEL_NAMES)
+    _add_window_args(p)
+    _add_fault_spec_arg(p)
     return parser
 
 
@@ -123,7 +224,11 @@ def _cmd_table2() -> str:
 
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
     cache = ResultCache(enabled=not args.no_cache)
-    return ExperimentRunner(cache=cache, workers=args.workers)
+    return ExperimentRunner(
+        cache=cache, workers=args.workers,
+        run_timeout=getattr(args, "run_timeout", None),
+        max_retries=getattr(args, "max_retries", 0),
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> str:
@@ -132,6 +237,7 @@ def _cmd_run(args: argparse.Namespace) -> str:
         model_name=args.model, benchmark=args.benchmark,
         num_clusters=args.clusters, latency_scale=args.latency_scale,
         instructions=args.instructions, warmup=args.warmup,
+        seed=args.seed, fault_spec=args.fault_spec,
     )
     run = runner.run_many([plan])[plan]
     lines = [
@@ -148,7 +254,33 @@ def _cmd_run(args: argparse.Namespace) -> str:
         f"false LS-bit deps {extra['false_dependences']:.0f}, "
         f"narrow coverage {extra['narrow_coverage']:.1%}"
     )
+    if args.fault_spec:
+        lines.append(
+            f"faults ({args.fault_spec}): "
+            f"retransmissions {extra.get('retransmissions', 0):.0f}, "
+            f"escalations {extra.get('retry_escalations', 0):.0f}, "
+            f"reroutes {extra.get('degraded_reroutes', 0):.0f}, "
+            f"degraded selections "
+            f"{extra.get('degraded_selections', 0):.0f}, "
+            f"planes killed {extra.get('planes_killed', 0):.0f}"
+        )
     return "\n".join(lines)
+
+
+def _cmd_faults(args: argparse.Namespace) -> str:
+    from .harness.faultsweep import DEFAULT_SCENARIOS, FaultScenario
+
+    runner = _make_runner(args)
+    scenarios = list(DEFAULT_SCENARIOS)
+    if args.fault_spec:
+        scenarios.append(FaultScenario(label="custom",
+                                       spec=args.fault_spec))
+    result = run_faultsweep(
+        runner, model_name=args.model, scenarios=scenarios,
+        benchmarks=args.benchmarks, instructions=args.instructions,
+        warmup=args.warmup, seed=args.seed, workers=args.workers,
+    )
+    return render_faultsweep(result)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -165,6 +297,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if command == "run":
         print(_cmd_run(args))
+        return 0
+    if command == "faults":
+        print(_cmd_faults(args))
         return 0
 
     runner = _make_runner(args)

@@ -33,6 +33,10 @@ class SteeringWeights:
     critical_bonus: float = 2.0
     load_balance: float = 1.5
     cache_proximity: float = 1.5
+    #: Penalty per wire plane lost on a cluster's link (fault
+    #: injection): instructions drift away from clusters whose links
+    #: degraded, shrinking the traffic that must cross crippled wires.
+    degraded_link: float = 2.0
 
 
 class SteeringHeuristic:
@@ -78,6 +82,16 @@ class SteeringHeuristic:
         ]
         self.steered = 0
         self.overflowed = 0
+        # Accumulated per-cluster penalties from degraded (faulted)
+        # links; zero-cost on the healthy path.
+        self._link_penalty = [0.0] * n
+        self._any_degraded = False
+
+    def note_degraded_link(self, cluster_index: int) -> None:
+        """A wire plane on this cluster's link died: steer away from it."""
+        if 0 <= cluster_index < len(self._link_penalty):
+            self._link_penalty[cluster_index] += self.weights.degraded_link
+            self._any_degraded = True
 
     def choose(self, instr: DynInstr,
                producers: Sequence[Tuple[int, DynInstr]]) -> Optional[Cluster]:
@@ -114,6 +128,10 @@ class SteeringHeuristic:
             for cluster in self.clusters:
                 proximity = self._cache_affinity[cluster.index]
                 scores[cluster.index] += w.cache_proximity * proximity
+
+        if self._any_degraded:
+            for c, penalty in enumerate(self._link_penalty):
+                scores[c] -= penalty
 
         best = self._argmax(scores, op)
         has_dest = instr.rec.dest >= 0

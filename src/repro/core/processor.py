@@ -80,11 +80,14 @@ class ClusteredProcessor:
 
     def __init__(self, config: ProcessorConfig,
                  interconnect: InterconnectConfig,
-                 supply, seed_tag: str = "") -> None:
+                 supply, seed_tag: str = "",
+                 faults: Optional["FaultInjector"] = None) -> None:
         self.config = config
         self.topology = config.build_topology()
         composition = interconnect.build_composition()
-        self.network = Network(self.topology, composition, interconnect.flags)
+        self.network = Network(self.topology, composition,
+                               interconnect.flags, injector=faults)
+        self.network.on_plane_kill = self._plane_killed
         self.clusters = [
             Cluster(i, cluster_node(i), config.issue_queue_size,
                     config.regfile_size)
@@ -154,6 +157,13 @@ class ClusteredProcessor:
         if footprint:
             base, size = footprint[-1]
             self.hierarchy.l1.prewarm_region(base, size)
+
+    def _plane_killed(self, channel: str, plane: WireClass,
+                      cycle: int) -> None:
+        """A wire plane died: bias steering away from the crippled link."""
+        node = channel.split(":", 1)[0]
+        if node.startswith("c") and node[1:].isdigit():
+            self.steering.note_degraded_link(int(node[1:]))
 
     # -- events ------------------------------------------------------------
 

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import os
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Union
 
+from ..faults import FaultInjector, FaultSpec
 from ..workloads.generator import TraceGenerator
 from ..workloads.spec2k import BENCHMARK_NAMES, profile
 from .config import InterconnectConfig, ProcessorConfig
@@ -19,11 +20,26 @@ DEFAULT_INSTRUCTIONS = int(os.environ.get("REPRO_INSTRUCTIONS", "12000"))
 DEFAULT_WARMUP = int(os.environ.get("REPRO_WARMUP", "3000"))
 DEFAULT_SEED = 42
 
+FaultSpecLike = Union[str, FaultSpec, None]
+
+
+def _build_injector(fault_spec: FaultSpecLike,
+                    seed: int) -> Optional[FaultInjector]:
+    """An injector for a spec (string or object), or None when null."""
+    if fault_spec is None:
+        return None
+    spec = (FaultSpec.parse(fault_spec)
+            if isinstance(fault_spec, str) else fault_spec)
+    if spec.is_null:
+        return None
+    return FaultInjector(spec, seed=seed)
+
 
 def build_processor(interconnect: InterconnectConfig, benchmark: str,
                     num_clusters: int = 4, seed: int = DEFAULT_SEED,
                     latency_scale: float = 1.0,
-                    config: Optional[ProcessorConfig] = None
+                    config: Optional[ProcessorConfig] = None,
+                    fault_spec: FaultSpecLike = None
                     ) -> ClusteredProcessor:
     """A processor wired to one synthetic SPEC2k benchmark."""
     if config is None:
@@ -32,7 +48,8 @@ def build_processor(interconnect: InterconnectConfig, benchmark: str,
         )
     generator = TraceGenerator(profile(benchmark), seed=seed)
     cpu = ClusteredProcessor(
-        config, interconnect, generator.stream_forever()
+        config, interconnect, generator.stream_forever(),
+        faults=_build_injector(fault_spec, seed),
     )
     cpu.prewarm(generator.data_footprint())
     return cpu
@@ -43,12 +60,19 @@ def simulate_benchmark(interconnect: InterconnectConfig, benchmark: str,
                        warmup: int = DEFAULT_WARMUP,
                        num_clusters: int = 4, seed: int = DEFAULT_SEED,
                        latency_scale: float = 1.0,
-                       config: Optional[ProcessorConfig] = None
+                       config: Optional[ProcessorConfig] = None,
+                       fault_spec: FaultSpecLike = None
                        ) -> BenchmarkRun:
-    """Run one benchmark under one interconnect; returns measured numbers."""
+    """Run one benchmark under one interconnect; returns measured numbers.
+
+    ``fault_spec`` (a :class:`FaultSpec` or its string form) injects
+    wire-plane faults; the run is still fully deterministic for a fixed
+    seed, and the degradation counters land in the run's extra stats.
+    """
     cpu = build_processor(interconnect, benchmark, num_clusters, seed,
-                          latency_scale, config)
+                          latency_scale, config, fault_spec=fault_spec)
     stats = cpu.run(instructions, warmup=warmup)
+    degradation = cpu.network.degradation_report()
     return BenchmarkRun(
         benchmark=benchmark,
         instructions=stats.committed,
@@ -69,6 +93,14 @@ def simulate_benchmark(interconnect: InterconnectConfig, benchmark: str,
             ("operand_transfers",
              float(cpu.network.selector.operand_transfers)),
             ("operand_narrow", float(cpu.network.selector.operand_narrow)),
+            ("retransmissions", float(degradation.retransmissions)),
+            ("corrupted_segments",
+             float(degradation.corrupted_segments)),
+            ("retry_escalations", float(degradation.retry_escalations)),
+            ("degraded_reroutes", float(degradation.degraded_reroutes)),
+            ("degraded_selections",
+             float(degradation.degraded_selections)),
+            ("planes_killed", float(degradation.planes_killed)),
         ),
     )
 
@@ -78,13 +110,14 @@ def simulate_model(model: InterconnectModel,
                    instructions: int = DEFAULT_INSTRUCTIONS,
                    warmup: int = DEFAULT_WARMUP,
                    num_clusters: int = 4, seed: int = DEFAULT_SEED,
-                   latency_scale: float = 1.0) -> ModelResult:
+                   latency_scale: float = 1.0,
+                   fault_spec: FaultSpecLike = None) -> ModelResult:
     """Run a whole benchmark suite under one interconnect model."""
     names = tuple(benchmarks) if benchmarks is not None else BENCHMARK_NAMES
     runs = tuple(
         simulate_benchmark(
             model.config, name, instructions, warmup,
-            num_clusters, seed, latency_scale,
+            num_clusters, seed, latency_scale, fault_spec=fault_spec,
         )
         for name in names
     )

@@ -5,7 +5,17 @@ from .runner import (
     ExperimentPlan,
     ExperimentRunner,
     ResultCache,
+    RunFailure,
+    SweepError,
+    SweepReport,
     SweepSummary,
+)
+from .faultsweep import (
+    DEFAULT_SCENARIOS,
+    FaultScenario,
+    FaultSweepResult,
+    render_faultsweep,
+    run_faultsweep,
 )
 from .formatting import (
     percent_delta,
@@ -24,7 +34,15 @@ __all__ = [
     "ExperimentPlan",
     "ExperimentRunner",
     "ResultCache",
+    "RunFailure",
+    "SweepError",
+    "SweepReport",
     "SweepSummary",
+    "DEFAULT_SCENARIOS",
+    "FaultScenario",
+    "FaultSweepResult",
+    "render_faultsweep",
+    "run_faultsweep",
     "percent_delta",
     "render_bar_chart",
     "render_table",

@@ -17,22 +17,28 @@ wall-clock duration, simulator commit); entries from older versions of
 this file lack it and are still accepted, since the cache key already
 pins :data:`CACHE_VERSION`.
 
-:meth:`ExperimentRunner.run_many` fans cache misses out over a
-``ProcessPoolExecutor`` -- simulations share no state and are
-deterministic for a fixed plan (seeded workload generation, no
-wall-clock coupling), so serial and parallel sweeps are bit-identical;
-``tests/harness/test_parallel.py`` enforces this.
+:meth:`ExperimentRunner.run_many` fans cache misses out over a pool of
+*crash-isolated* worker processes (one process per run) -- simulations
+share no state and are deterministic for a fixed plan (seeded workload
+generation, no wall-clock coupling), so serial and parallel sweeps are
+bit-identical; ``tests/harness/test_parallel.py`` enforces this.  A
+worker that crashes, wedges past ``run_timeout`` or raises no longer
+kills the sweep: crashed/timed-out runs are retried with exponential
+backoff up to ``max_retries`` times, and whatever still fails lands in
+a structured failure manifest (:class:`SweepReport`) next to every
+completed result.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import multiprocessing
 import os
 import subprocess
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import (
@@ -58,7 +64,7 @@ from ..core.simulation import (
 from ..workloads.spec2k import BENCHMARK_NAMES
 
 #: Bump when simulator changes invalidate cached results.
-CACHE_VERSION = 4
+CACHE_VERSION = 5
 
 #: Required result fields and their acceptable JSON types.
 _RESULT_SCHEMA: Dict[str, tuple] = {
@@ -82,12 +88,15 @@ class ExperimentPlan:
     warmup: int = DEFAULT_WARMUP
     seed: int = DEFAULT_SEED
     policy_tag: str = "default"
+    #: Canonical fault-spec string ("" = healthy wires); see
+    #: :meth:`repro.faults.FaultSpec.canonical`.
+    fault_spec: str = ""
 
     def cache_key(self) -> str:
         payload = json.dumps(
             [CACHE_VERSION, self.model_name, self.benchmark,
              self.num_clusters, self.latency_scale, self.instructions,
-             self.warmup, self.seed, self.policy_tag],
+             self.warmup, self.seed, self.policy_tag, self.fault_spec],
             sort_keys=True,
         )
         return hashlib.sha256(payload.encode()).hexdigest()[:24]
@@ -95,7 +104,9 @@ class ExperimentPlan:
     def describe(self) -> str:
         return (f"{self.model_name}/{self.benchmark} "
                 f"({self.num_clusters}cl, x{self.latency_scale:g}, "
-                f"{self.instructions}i, tag={self.policy_tag})")
+                f"{self.instructions}i, tag={self.policy_tag}"
+                + (f", faults={self.fault_spec}" if self.fault_spec else "")
+                + ")")
 
 
 def _simulator_commit() -> str:
@@ -258,8 +269,44 @@ def _execute_plan(
         instructions=plan.instructions, warmup=plan.warmup,
         num_clusters=plan.num_clusters, seed=plan.seed,
         latency_scale=plan.latency_scale,
+        fault_spec=plan.fault_spec or None,
     )
     return run, time.perf_counter() - start
+
+
+def _worker_entry(conn, plan: ExperimentPlan,
+                  interconnect_model: Optional[InterconnectModel]) -> None:
+    """Entry point of one crash-isolated worker process.
+
+    Ships either ``("ok", run, duration)`` or ``("error", type, msg)``
+    back through the pipe; a worker that dies before sending (segfault,
+    OOM-kill, SIGKILL) is detected by the parent via process exit.
+    """
+    try:
+        run, duration = _execute_plan(plan, interconnect_model)
+        payload = ("ok", run, duration)
+    except BaseException as exc:  # noqa: BLE001 - isolate *everything*
+        payload = ("error", type(exc).__name__, str(exc))
+    try:
+        conn.send(payload)
+    finally:
+        conn.close()
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """One plan that a sweep could not complete."""
+
+    plan: ExperimentPlan
+    #: "timeout" (killed past run_timeout), "crash" (worker died without
+    #: reporting) or "error" (the simulator raised).
+    reason: str
+    detail: str
+    attempts: int
+
+    def describe(self) -> str:
+        return (f"{self.plan.describe()}: {self.reason} after "
+                f"{self.attempts} attempt(s) -- {self.detail}")
 
 
 @dataclass(frozen=True)
@@ -272,10 +319,12 @@ class SweepSummary:
     cache_hits: int
     total_duration: float
     max_duration: float
+    failed: int = 0
 
     def render(self) -> str:
         return (f"sweep: {self.executed} executed, "
                 f"{self.cache_hits} cache hits"
+                + (f", {self.failed} FAILED" if self.failed else "")
                 + (f", {self.requested - self.unique} duplicate plans "
                    f"coalesced" if self.requested != self.unique else "")
                 + (f"; sim time total {self.total_duration:.2f}s, "
@@ -283,23 +332,75 @@ class SweepSummary:
                    if self.executed else ""))
 
 
+@dataclass(frozen=True)
+class SweepReport:
+    """Partial-failure result of a sweep: completed runs + manifest."""
+
+    results: Dict[ExperimentPlan, BenchmarkRun]
+    failures: Tuple[RunFailure, ...]
+    summary: SweepSummary
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def manifest(self) -> str:
+        """Human-readable failure manifest ("" when everything ran)."""
+        if not self.failures:
+            return ""
+        lines = [f"{len(self.failures)} run(s) failed:"]
+        for failure in self.failures:
+            lines.append(f"  - {failure.describe()}")
+        return "\n".join(lines)
+
+
+class SweepError(RuntimeError):
+    """A sweep in raise-mode finished with failures.
+
+    Carries the full :class:`SweepReport`, so callers can still salvage
+    the completed runs from ``exc.report.results``.
+    """
+
+    def __init__(self, report: SweepReport) -> None:
+        super().__init__(report.manifest())
+        self.report = report
+
+
 class ExperimentRunner:
     """Executes experiment plans, consulting the cache first.
 
     ``workers`` sets the default process fan-out for
     :meth:`run_many`; 1 (the default) keeps everything in-process.
+    ``run_timeout`` (seconds) bounds each run's wall clock;
+    ``max_retries`` retries crashed/timed-out workers with exponential
+    backoff (``retry_backoff * 2**attempt`` seconds) before declaring
+    the run failed.  Setting a timeout forces every run into its own
+    worker process so a wedged simulation can actually be killed.
     """
 
     def __init__(self, cache: Optional[ResultCache] = None,
-                 verbose: bool = True, workers: int = 1) -> None:
+                 verbose: bool = True, workers: int = 1,
+                 run_timeout: Optional[float] = None,
+                 max_retries: int = 0,
+                 retry_backoff: float = 0.25) -> None:
+        if run_timeout is not None and run_timeout <= 0:
+            raise ValueError("run_timeout must be positive seconds")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
         self.cache = cache or ResultCache()
         self.verbose = verbose
         self.workers = max(1, workers)
+        self.run_timeout = run_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
         self.executed = 0
         self.cache_hits = 0
         self.total_duration = 0.0
         self.max_duration = 0.0
         self.last_summary: Optional[SweepSummary] = None
+        self.last_report: Optional[SweepReport] = None
 
     def _record(self, plan: ExperimentPlan, run: BenchmarkRun,
                 duration: float) -> None:
@@ -328,6 +429,8 @@ class ExperimentRunner:
         plans: Sequence[ExperimentPlan],
         workers: Optional[int] = None,
         models: Optional[Mapping[ExperimentPlan, InterconnectModel]] = None,
+        run_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
     ) -> Dict[ExperimentPlan, BenchmarkRun]:
         """Run a batch of plans, fanning cache misses across processes.
 
@@ -335,8 +438,38 @@ class ExperimentRunner:
         optionally overrides the interconnect model per plan (used by
         the policy-flag ablations).  Returns a plan -> run mapping
         covering every distinct input plan; sets :attr:`last_summary`.
+        Raises :class:`SweepError` (carrying the partial results and
+        the failure manifest) if any run ultimately fails; use
+        :meth:`run_many_report` to get partial results without raising.
+        """
+        report = self.run_many_report(
+            plans, workers=workers, models=models,
+            run_timeout=run_timeout, max_retries=max_retries,
+        )
+        if report.failures:
+            raise SweepError(report)
+        return dict(report.results)
+
+    def run_many_report(
+        self,
+        plans: Sequence[ExperimentPlan],
+        workers: Optional[int] = None,
+        models: Optional[Mapping[ExperimentPlan, InterconnectModel]] = None,
+        run_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+    ) -> SweepReport:
+        """Like :meth:`run_many`, but never raises on worker failure.
+
+        Completed runs land in ``report.results``; crashed, timed-out
+        and erroring plans land in ``report.failures`` after
+        ``max_retries`` retry rounds.  Sets :attr:`last_summary` and
+        :attr:`last_report`.
         """
         workers = self.workers if workers is None else max(1, workers)
+        run_timeout = (self.run_timeout if run_timeout is None
+                       else run_timeout)
+        max_retries = (self.max_retries if max_retries is None
+                       else max_retries)
         unique: List[ExperimentPlan] = list(dict.fromkeys(plans))
         results: Dict[ExperimentPlan, BenchmarkRun] = {}
         misses: List[ExperimentPlan] = []
@@ -351,25 +484,38 @@ class ExperimentRunner:
         executed = 0
         total = 0.0
         peak = 0.0
+        failures: List[RunFailure] = []
         if misses:
             if self.verbose:
                 for plan in misses:
                     print(f"  running {plan.describe()}", flush=True)
-            if workers > 1 and len(misses) > 1:
-                pool_size = min(workers, len(misses))
-                with ProcessPoolExecutor(max_workers=pool_size) as pool:
-                    futures = [
-                        pool.submit(_execute_plan, plan,
-                                    models.get(plan) if models else None)
-                        for plan in misses
-                    ]
-                    outcomes = [f.result() for f in futures]
+            # A timeout can only be enforced on a killable process, so
+            # any timeout (or parallelism) routes through the
+            # crash-isolated pool; the plain serial path stays
+            # in-process and cheap.
+            if run_timeout is not None or (workers > 1 and len(misses) > 1):
+                outcomes = self._run_isolated(
+                    misses, models, workers, run_timeout, max_retries)
             else:
-                outcomes = [
-                    _execute_plan(plan, models.get(plan) if models else None)
-                    for plan in misses
-                ]
-            for plan, (run, duration) in zip(misses, outcomes):
+                outcomes = {}
+                for plan in misses:
+                    try:
+                        outcomes[plan] = _execute_plan(
+                            plan, models.get(plan) if models else None)
+                    except Exception as exc:  # noqa: BLE001
+                        outcomes[plan] = RunFailure(
+                            plan=plan, reason="error",
+                            detail=f"{type(exc).__name__}: {exc}",
+                            attempts=1,
+                        )
+            for plan in misses:
+                outcome = outcomes[plan]
+                if isinstance(outcome, RunFailure):
+                    failures.append(outcome)
+                    if self.verbose:
+                        print(f"  FAILED {outcome.describe()}", flush=True)
+                    continue
+                run, duration = outcome
                 self._record(plan, run, duration)
                 results[plan] = run
                 executed += 1
@@ -378,12 +524,113 @@ class ExperimentRunner:
 
         self.last_summary = SweepSummary(
             requested=len(plans), unique=len(unique), executed=executed,
-            cache_hits=len(unique) - executed,
+            cache_hits=len(unique) - len(misses),
             total_duration=total, max_duration=peak,
+            failed=len(failures),
+        )
+        self.last_report = SweepReport(
+            results=results, failures=tuple(failures),
+            summary=self.last_summary,
         )
         if self.verbose:
             print(f"  {self.last_summary.render()}", flush=True)
-        return results
+        return self.last_report
+
+    def _run_isolated(
+        self,
+        misses: Sequence[ExperimentPlan],
+        models: Optional[Mapping[ExperimentPlan, InterconnectModel]],
+        workers: int,
+        run_timeout: Optional[float],
+        max_retries: int,
+    ) -> Dict[ExperimentPlan, object]:
+        """Execute plans in one killable process each.
+
+        Schedules up to ``workers`` concurrent worker processes; a
+        worker that exceeds ``run_timeout`` is terminated, a worker
+        that dies without reporting is detected via its exit code, and
+        both are retried with exponential backoff up to ``max_retries``
+        times.  Returns plan -> (run, duration) | RunFailure.
+        """
+        ctx = multiprocessing.get_context()
+        outcomes: Dict[ExperimentPlan, object] = {}
+        # (plan, attempt, not-before-monotonic-time)
+        ready = deque((plan, 0, 0.0) for plan in misses)
+        active: Dict[ExperimentPlan, tuple] = {}
+
+        def finish(plan, attempt, reason, detail):
+            if reason in ("timeout", "crash") and attempt < max_retries:
+                delay = self.retry_backoff * (2 ** attempt)
+                if self.verbose:
+                    print(f"  retrying {plan.describe()} after {reason} "
+                          f"(attempt {attempt + 2}, backoff {delay:.2f}s)",
+                          flush=True)
+                ready.append((plan, attempt + 1, time.monotonic() + delay))
+            else:
+                outcomes[plan] = RunFailure(
+                    plan=plan, reason=reason, detail=detail,
+                    attempts=attempt + 1,
+                )
+
+        while ready or active:
+            now = time.monotonic()
+            # Launch as many ready plans as there are free slots.
+            for _ in range(len(ready)):
+                if len(active) >= max(1, workers):
+                    break
+                plan, attempt, not_before = ready.popleft()
+                if not_before > now:
+                    ready.append((plan, attempt, not_before))
+                    continue
+                recv, send = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_worker_entry,
+                    args=(send, plan, models.get(plan) if models else None),
+                )
+                proc.start()
+                send.close()
+                active[plan] = (proc, recv, time.monotonic(), attempt)
+
+            progressed = False
+            for plan, (proc, recv, started, attempt) in list(active.items()):
+                if recv.poll(0):
+                    try:
+                        message = recv.recv()
+                    except EOFError:
+                        message = None
+                    proc.join()
+                    recv.close()
+                    del active[plan]
+                    progressed = True
+                    if message is None:
+                        finish(plan, attempt, "crash",
+                               f"worker pipe closed without a result "
+                               f"(exit code {proc.exitcode})")
+                    elif message[0] == "ok":
+                        outcomes[plan] = (message[1], message[2])
+                    else:
+                        finish(plan, attempt, "error",
+                               f"{message[1]}: {message[2]}")
+                elif not proc.is_alive():
+                    proc.join()
+                    recv.close()
+                    del active[plan]
+                    progressed = True
+                    finish(plan, attempt, "crash",
+                           f"worker exited with code {proc.exitcode} "
+                           f"before reporting a result")
+                elif (run_timeout is not None
+                        and time.monotonic() - started >= run_timeout):
+                    proc.terminate()
+                    proc.join()
+                    recv.close()
+                    del active[plan]
+                    progressed = True
+                    finish(plan, attempt, "timeout",
+                           f"exceeded run timeout of {run_timeout:g}s")
+            if not progressed and (active or ready):
+                time.sleep(0.01)
+        return outcomes
 
     def run_model(self, model_name: str,
                   benchmarks: Optional[Sequence[str]] = None,

@@ -30,10 +30,11 @@ from .topology import (
     Topology,
     cluster_node,
 )
+from .errors import ConfigError, UnroutableError
 from .loadbalance import ImbalanceDetector, TrafficWindow
 from .selection import PlannedSegment, PolicyFlags, WireSelector
 from .stats import InterconnectStats, PlaneActivity, leakage_energy
-from .network import ChannelReport, Network
+from .network import ChannelReport, DegradationReport, Network
 
 __all__ = [
     "DEFAULT_BITS",
@@ -68,5 +69,8 @@ __all__ = [
     "PlaneActivity",
     "leakage_energy",
     "ChannelReport",
+    "ConfigError",
+    "DegradationReport",
     "Network",
+    "UnroutableError",
 ]

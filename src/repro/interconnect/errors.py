@@ -1,0 +1,17 @@
+"""Interconnect configuration and routing errors.
+
+:class:`ConfigError` replaces the bare ``KeyError`` the network used to
+leak when a transfer named a wire class the link composition does not
+carry; :class:`UnroutableError` signals that degraded-mode routing ran
+out of surviving planes able to carry a message.
+"""
+
+from __future__ import annotations
+
+
+class ConfigError(ValueError):
+    """An interconnect request names a plane the links do not have."""
+
+
+class UnroutableError(RuntimeError):
+    """No surviving wire plane can carry a message after faults."""

@@ -13,20 +13,41 @@ approximation of the paper's fully pipelined links.  Granted segments
 arrive after the plane's path latency; arrival fires the transfer's
 callbacks (partial-slice arrivals fire ``on_partial_arrival``, the hook
 the accelerated cache pipeline uses).
+
+Fault injection (optional, via a
+:class:`~repro.faults.injector.FaultInjector`):
+
+* *Permanent plane kills* deactivate a (channel, plane) pair at a
+  given cycle.  New transfers are planned around dead planes
+  (:meth:`WireSelector.select` with ``avoid``); segments already queued
+  on a dying plane are rerouted onto a surviving plane.
+* *Transient corruption*: a granted segment may arrive corrupted (it
+  still burned wires and energy).  The receiver NACKs; after a
+  round-trip the source retransmits.  A segment that exhausts its retry
+  budget escalates to a permanent plane-kill on its source link and is
+  rerouted.
+* *Delay derating* stretches a plane's path latency (process
+  variation).
+
+All fault decisions are pure functions of (seed, segment identity,
+attempt), so faulted runs stay bit-deterministic.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from ..wires import WireClass
+from .errors import ConfigError, UnroutableError
 from .message import Transfer
 from .plane import LinkComposition
 from .selection import PlannedSegment, PolicyFlags, WireSelector
 from .stats import InterconnectStats, leakage_energy
 from .topology import Topology
+
+_NO_AVOID: FrozenSet[WireClass] = frozenset()
 
 
 @dataclass
@@ -36,9 +57,11 @@ class _Queued:
     transfer: Transfer
     segment: PlannedSegment
     path_channels: Tuple[str, ...]
+    latencies: Dict[WireClass, int]
     latency: int
     energy_weight: int
     earliest_cycle: int
+    attempt: int = 0
 
 
 @dataclass(frozen=True)
@@ -51,17 +74,39 @@ class ChannelReport:
     grants: int
     bits: int
     utilization: float
+    retransmissions: int = 0
+
+
+@dataclass(frozen=True)
+class DegradationReport:
+    """How much fault-induced degradation a network absorbed."""
+
+    corrupted_segments: int
+    retransmissions: int
+    retry_escalations: int
+    degraded_reroutes: int
+    degraded_selections: int
+    planes_killed: int
+    retry_budget: int
+
+    @property
+    def any_degradation(self) -> bool:
+        return bool(self.corrupted_segments or self.retransmissions
+                    or self.retry_escalations or self.degraded_reroutes
+                    or self.degraded_selections or self.planes_killed)
 
 
 class Network:
     """Cycle-driven heterogeneous inter-cluster network."""
 
     def __init__(self, topology: Topology, composition: LinkComposition,
-                 flags: Optional[PolicyFlags] = None) -> None:
+                 flags: Optional[PolicyFlags] = None,
+                 injector: Optional["FaultInjector"] = None) -> None:
         self.topology = topology
         self.composition = composition
         self.selector = WireSelector(composition, flags)
         self.stats = InterconnectStats()
+        self.injector = injector
         # Per (out-channel, plane) FIFO queues; only non-empty ones are in
         # ``_active`` so an idle network costs nothing per tick.
         self._queues: Dict[Tuple[str, WireClass], List[_Queued]] = {}
@@ -75,45 +120,197 @@ class Network:
         # Per-(channel, plane) grant/bit counters for utilization reports.
         self._channel_grants: Dict[Tuple[str, WireClass], int] = {}
         self._channel_bits: Dict[Tuple[str, WireClass], int] = {}
+        self._channel_retx: Dict[Tuple[str, WireClass], int] = {}
         self._first_grant_cycle: Optional[int] = None
         self._last_grant_cycle = 0
+        # Fault state: scheduled and activated plane kills, NACKed
+        # segments awaiting their retransmission cycle.
+        self._pending_kills: List[Tuple[int, str, WireClass]] = []
+        self._dead: Dict[Tuple[str, WireClass], int] = {}
+        self._retries: List[Tuple[int, int, _Queued]] = []
+        self._retry_seq = 0
+        self._retry_budget = 4
+        #: Fired (channel, plane, cycle) when a plane-kill takes effect;
+        #: the processor hooks this to degrade instruction steering.
+        self.on_plane_kill: Optional[
+            Callable[[str, WireClass, int], None]] = None
+        self._ber_active = False
+        if injector is not None:
+            self._retry_budget = injector.spec.retry_budget
+            self._ber_active = injector.spec.ber > 0.0
+            for cycle, channel, plane in injector.scheduled_kills(
+                    topology.channels):
+                if not composition.has_plane(plane):
+                    raise ConfigError(
+                        f"fault spec kills {plane.value}-Wires, but the "
+                        f"link composition ({composition.describe()}) "
+                        f"has no such plane"
+                    )
+                heapq.heappush(self._pending_kills,
+                               (cycle, channel, plane))
 
     # -- submission ------------------------------------------------------
 
     def submit(self, transfer: Transfer, cycle: int) -> None:
         """Plan a transfer's segments and queue them for arbitration."""
         path = self.topology.path(transfer.src, transfer.dst)
-        segments = self.selector.select(transfer, cycle)
+        avoid = _NO_AVOID
+        if self._pending_kills:
+            self._activate_kills(cycle)
+        if self._dead:
+            avoid = self._dead_planes_on(path.channels)
+        segments = self.selector.select(transfer, cycle, avoid=avoid)
         if len(segments) > 1:
             self.stats.split_transfers += 1
         for segment in segments:
-            self.selector.record_injection(cycle, segment.wire_class)
-            key = (path.channels[0], segment.wire_class)
+            wire_class = segment.wire_class
+            if not self.composition.has_plane(wire_class):
+                raise ConfigError(
+                    f"transfer {transfer.kind.value} "
+                    f"({transfer.src}->{transfer.dst}) requests "
+                    f"{wire_class.value}-Wires, but the link composition "
+                    f"({self.composition.describe()}) has no such plane"
+                )
+            self.selector.record_injection(cycle, wire_class)
+            key = (path.channels[0], wire_class)
             queued = _Queued(
                 transfer=transfer,
                 segment=segment,
                 path_channels=path.channels,
-                latency=path.latency[segment.wire_class],
+                latencies=path.latency,
+                latency=self._plane_latency(transfer, path.latency,
+                                            wire_class),
                 energy_weight=path.energy_weight,
                 earliest_cycle=cycle + segment.submit_delay,
             )
-            queue = self._queues.get(key)
-            if queue is None:
-                queue = self._queues.setdefault(key, [])
-                self._queue_heads[key] = 0
-            queue.append(queued)
-            self._active.add(key)
+            self._enqueue(key, queued)
+
+    def _plane_latency(self, transfer: Transfer,
+                       latencies: Dict[WireClass, int],
+                       wire_class: WireClass) -> int:
+        base = latencies.get(wire_class)
+        if base is None:
+            raise ConfigError(
+                f"transfer {transfer.kind.value} requests "
+                f"{wire_class.value}-Wires, but the path "
+                f"({transfer.src}->{transfer.dst}) defines no latency "
+                f"for that plane"
+            )
+        if self.injector is not None:
+            return self.injector.scaled_latency(wire_class, base)
+        return base
+
+    def _enqueue(self, key: Tuple[str, WireClass], item: _Queued) -> None:
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = self._queues.setdefault(key, [])
+            self._queue_heads[key] = 0
+        queue.append(item)
+        self._active.add(key)
+
+    # -- fault machinery -------------------------------------------------
+
+    def _activate_kills(self, cycle: int) -> None:
+        """Move due scheduled kills into the dead set."""
+        pending = self._pending_kills
+        while pending and pending[0][0] <= cycle:
+            kill_cycle, channel, plane = heapq.heappop(pending)
+            self._kill(channel, plane, max(kill_cycle, cycle))
+
+    def _kill(self, channel: str, plane: WireClass, cycle: int) -> None:
+        key = (channel, plane)
+        if key in self._dead:
+            return
+        self._dead[key] = cycle
+        if self.on_plane_kill is not None:
+            self.on_plane_kill(channel, plane, cycle)
+
+    def _dead_planes_on(
+            self, channels: Tuple[str, ...]) -> FrozenSet[WireClass]:
+        dead = self._dead
+        return frozenset(
+            plane for (channel, plane) in dead if channel in channels
+        )
+
+    def _blocked_by_kill(self, item: _Queued, plane: WireClass) -> bool:
+        dead = self._dead
+        for channel in item.path_channels:
+            if (channel, plane) in dead:
+                return True
+        return False
+
+    def _reroute(self, item: _Queued, cycle: int) -> None:
+        """Move a stranded segment onto a surviving plane."""
+        avoid = self._dead_planes_on(item.path_channels)
+        wire_class = self._surviving_plane(item, avoid)
+        item.segment = replace(item.segment, wire_class=wire_class)
+        item.latency = self._plane_latency(item.transfer, item.latencies,
+                                           wire_class)
+        item.earliest_cycle = cycle
+        item.attempt = 0
+        self.stats.degraded_reroutes += 1
+        self.selector.record_injection(cycle, wire_class)
+        self._enqueue((item.path_channels[0], wire_class), item)
+
+    def _surviving_plane(self, item: _Queued,
+                         avoid: FrozenSet[WireClass]) -> WireClass:
+        """A live plane wide enough for the segment, bulk planes first.
+
+        The L plane is a last resort: it can only carry messages that
+        fit its (narrow) width in one cycle.
+        """
+        bits = item.segment.bits
+        for wire_class in (WireClass.B, WireClass.PW, WireClass.W,
+                           WireClass.L):
+            if (not self.composition.has_plane(wire_class)
+                    or wire_class in avoid):
+                continue
+            if all(bits <= self._capacity((ch, wire_class))
+                   for ch in item.path_channels):
+                return wire_class
+        dead = ", ".join(sorted(w.value for w in avoid)) or "none"
+        raise UnroutableError(
+            f"no surviving plane can carry {bits} bits on path "
+            f"{'>'.join(item.path_channels)} (composition: "
+            f"{self.composition.describe()}; dead planes: {dead})"
+        )
+
+    def _process_retries(self, cycle: int) -> None:
+        """Requeue NACKed segments whose retransmission cycle arrived."""
+        retries = self._retries
+        stats = self.stats
+        while retries and retries[0][0] <= cycle:
+            _, _, item = heapq.heappop(retries)
+            plane = item.segment.wire_class
+            if item.attempt >= self._retry_budget:
+                # Persistent corruption: treat the source link's plane
+                # as broken and fall back to the surviving planes.
+                stats.retry_escalations += 1
+                self._kill(item.path_channels[0], plane, cycle)
+                self._reroute(item, cycle)
+                continue
+            item.attempt += 1
+            item.earliest_cycle = cycle
+            stats.retransmissions += 1
+            key = (item.path_channels[0], plane)
+            self._channel_retx[key] = self._channel_retx.get(key, 0) + 1
+            self._enqueue(key, item)
 
     # -- per-cycle operation ---------------------------------------------
 
     def tick(self, cycle: int) -> None:
         """Arbitrate all queued segments for this cycle's wire budgets."""
+        if self._pending_kills:
+            self._activate_kills(cycle)
+        if self._retries:
+            self._process_retries(cycle)
         if not self._active:
             return
         if self._budget_cycle != cycle:
             self._budget.clear()
             self._budget_cycle = cycle
         budget = self._budget
+        faulty = bool(self._dead)
         drained = []
         for key in sorted(self._active, key=_queue_order):
             queue = self._queues[key]
@@ -123,6 +320,12 @@ class Network:
                 item = queue[head]
                 if item.earliest_cycle > cycle:
                     break
+                if faulty and self._blocked_by_kill(item, plane):
+                    # The plane died under this segment: hand it to a
+                    # surviving plane instead of stalling forever.
+                    head += 1
+                    self._reroute(item, cycle)
+                    continue
                 if not self._grant(item, plane, cycle, budget):
                     break
                 head += 1
@@ -158,6 +361,20 @@ class Network:
         self.stats.record_segment(
             plane, bits, item.energy_weight, item.transfer.kind
         )
+        if self._ber_active and self.injector.corrupts(
+                plane, item.transfer.kind.value, item.transfer.seq,
+                bits, len(item.path_channels), item.attempt,
+                item.segment.is_leading_slice):
+            # The segment burned wires and energy but arrives corrupt:
+            # the receiver NACKs and the source retransmits after a
+            # round trip.  No arrival callbacks fire for this attempt.
+            self.stats.corrupted_segments += 1
+            self._retry_seq += 1
+            heapq.heappush(
+                self._retries,
+                (cycle + 2 * item.latency + 1, self._retry_seq, item),
+            )
+            return True
         self._delivery_seq += 1
         heapq.heappush(
             self._deliveries,
@@ -191,14 +408,48 @@ class Network:
         return capacity
 
     def idle(self) -> bool:
-        """True when nothing is queued or in flight."""
-        return not self._active and not self._deliveries
+        """True when nothing is queued, in flight or awaiting retry."""
+        return (not self._active and not self._deliveries
+                and not self._retries)
 
     def next_event_cycle(self) -> Optional[int]:
-        """Earliest future delivery, for event-skipping cores."""
+        """Earliest future delivery/retry, for event-skipping cores."""
+        candidates = []
         if self._deliveries:
-            return self._deliveries[0][0]
+            candidates.append(self._deliveries[0][0])
+        if self._retries:
+            candidates.append(self._retries[0][0])
+        if self._pending_kills:
+            candidates.append(self._pending_kills[0][0])
+        if candidates:
+            return min(candidates)
         return None
+
+    def dead_planes(self) -> Tuple[Tuple[str, WireClass, int], ...]:
+        """(channel, plane, kill cycle) for every deactivated plane."""
+        return tuple(
+            (channel, plane, cycle)
+            for (channel, plane), cycle in sorted(
+                self._dead.items(), key=lambda kv: (kv[1], kv[0][0],
+                                                    kv[0][1].value))
+        )
+
+    def degradation_report(self) -> DegradationReport:
+        """Fault-tolerance counters, aggregated network-wide.
+
+        ``planes_killed`` reflects the *current* dead set (it survives
+        measurement resets); the remaining counters cover the measured
+        window.
+        """
+        return DegradationReport(
+            corrupted_segments=self.stats.corrupted_segments,
+            retransmissions=self.stats.retransmissions,
+            retry_escalations=self.stats.retry_escalations,
+            degraded_reroutes=self.stats.degraded_reroutes,
+            degraded_selections=self.selector.degraded_selections,
+            planes_killed=len(self._dead),
+            retry_budget=self._retry_budget,
+        )
 
     def utilization_report(self,
                            cycles: Optional[int] = None
@@ -226,6 +477,7 @@ class Network:
                 grants=self._channel_grants[key],
                 bits=bits,
                 utilization=bits / (capacity * cycles),
+                retransmissions=self._channel_retx.get(key, 0),
             ))
         reports.sort(key=lambda r: -r.utilization)
         return reports

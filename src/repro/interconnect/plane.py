@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping
 
 from ..wires import CANONICAL_SPECS, WireClass, WireSpec
+from .errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -84,11 +85,17 @@ class LinkComposition:
         return wire_class in self._planes
 
     def plane(self, wire_class: WireClass) -> PlaneSpec:
-        return self._planes[wire_class]
+        try:
+            return self._planes[wire_class]
+        except KeyError:
+            raise ConfigError(
+                f"link has no {wire_class.value}-Wires plane "
+                f"(composition: {self.describe()})"
+            ) from None
 
     def plane_width(self, wire_class: WireClass, is_cache_link: bool) -> int:
         """Per-direction bit budget of a plane on a given link."""
-        width = self._planes[wire_class].width
+        width = self.plane(wire_class).width
         return width * self.cache_width_factor if is_cache_link else width
 
     def bulk_plane(self) -> WireClass:

@@ -21,9 +21,10 @@ else PW-Wires).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List
+from typing import FrozenSet, List
 
 from ..wires import WireClass
+from .errors import UnroutableError
 from .loadbalance import ImbalanceDetector
 from .message import (
     LWIRE_BITS,
@@ -108,6 +109,8 @@ class WireSelector:
         self.pw_ready_transfers = 0
         self.pw_store_transfers = 0
         self.pw_diverted_transfers = 0
+        # Selections planned around one or more dead planes.
+        self.degraded_selections = 0
 
     # -- bookkeeping -----------------------------------------------------
 
@@ -116,9 +119,28 @@ class WireSelector:
 
     # -- the policy ------------------------------------------------------
 
-    def select(self, transfer: Transfer, cycle: int) -> List[PlannedSegment]:
+    def select(self, transfer: Transfer, cycle: int,
+               avoid: FrozenSet[WireClass] = frozenset()
+               ) -> List[PlannedSegment]:
+        """Planned segments for a transfer.
+
+        ``avoid`` names planes that are dead on the transfer's path
+        (fault injection): the policy re-plans through the surviving
+        planes -- losing the L plane flips every L-Wire rule through the
+        :meth:`PolicyFlags.without_lwire_uses` fallback, losing a bulk
+        plane re-targets bulk traffic.
+        """
         kind = transfer.kind
         flags = self.flags
+        has_l = self._has_l
+        has_pw = self._has_pw
+        if avoid:
+            self.degraded_selections += 1
+            if WireClass.L in avoid:
+                flags = flags.without_lwire_uses()
+                has_l = False
+            if WireClass.PW in avoid:
+                has_pw = False
 
         if kind is TransferKind.OPERAND:
             self.operand_transfers += 1
@@ -126,12 +148,13 @@ class WireSelector:
                 self.operand_narrow += 1
 
         if kind is TransferKind.MISPREDICT:
-            if flags.lwire_mispredict and self._has_l:
+            if flags.lwire_mispredict and has_l:
                 return [PlannedSegment(WireClass.L, MISPREDICT_BITS)]
-            return [self._bulk_segment(MISPREDICT_BITS, transfer, cycle)]
+            return [self._bulk_segment(MISPREDICT_BITS, transfer, cycle,
+                                       avoid)]
 
-        if kind.is_address and flags.lwire_partial_address and self._has_l:
-            bulk = self._bulk_choice(transfer, cycle)
+        if kind.is_address and flags.lwire_partial_address and has_l:
+            bulk = self._bulk_choice(transfer, cycle, avoid)
             return [
                 PlannedSegment(WireClass.L, PARTIAL_ADDRESS_BITS,
                                is_leading_slice=True, is_final_slice=False),
@@ -139,7 +162,7 @@ class WireSelector:
             ]
 
         if (kind in (TransferKind.OPERAND, TransferKind.LOAD_DATA)
-                and flags.lwire_narrow and self._has_l
+                and flags.lwire_narrow and has_l
                 and transfer.narrow_predicted):
             self.narrow_transfers += 1
             if transfer.narrow_actual:
@@ -147,7 +170,7 @@ class WireSelector:
             # Width mispredicted: the tag went out on L-Wires but the value
             # does not fit; reissue full width after a detection cycle.
             self.narrow_mispredicts += 1
-            bulk = self._bulk_choice(transfer, cycle)
+            bulk = self._bulk_choice(transfer, cycle, avoid)
             return [
                 PlannedSegment(WireClass.L, LWIRE_BITS,
                                is_leading_slice=True, is_final_slice=False),
@@ -156,29 +179,45 @@ class WireSelector:
             ]
 
         if (kind in (TransferKind.OPERAND, TransferKind.LOAD_DATA)
-                and flags.lwire_frequent_value and self._has_l
+                and flags.lwire_frequent_value and has_l
                 and transfer.fv_encodable):
             # Frequent-value index + tag fits the L-Wire plane.
             self.fv_transfers += 1
             return [PlannedSegment(WireClass.L, LWIRE_BITS)]
 
         if (kind is TransferKind.OPERAND and transfer.ready_at_dispatch
-                and flags.pw_ready_operand and self._has_pw):
+                and flags.pw_ready_operand and has_pw):
             self.pw_ready_transfers += 1
             return [PlannedSegment(WireClass.PW, transfer.bits)]
 
         if (kind is TransferKind.STORE_DATA and flags.pw_store_data
-                and self._has_pw):
+                and has_pw):
             self.pw_store_transfers += 1
             return [PlannedSegment(WireClass.PW, transfer.bits)]
 
-        return [self._bulk_segment(transfer.bits, transfer, cycle)]
+        return [self._bulk_segment(transfer.bits, transfer, cycle, avoid)]
 
     # -- helpers ---------------------------------------------------------
 
-    def _bulk_choice(self, transfer: Transfer, cycle: int) -> WireClass:
+    def bulk_for(self, avoid: FrozenSet[WireClass]) -> WireClass:
+        """The default bulk plane among the survivors of ``avoid``."""
+        if not avoid:
+            return self._bulk
+        for wc in (WireClass.B, WireClass.PW, WireClass.W):
+            if self.composition.has_plane(wc) and wc not in avoid:
+                return wc
+        dead = ", ".join(sorted(w.value for w in avoid))
+        raise UnroutableError(
+            f"no surviving bulk-capable plane on link (composition: "
+            f"{self.composition.describe()}; dead planes: {dead})"
+        )
+
+    def _bulk_choice(self, transfer: Transfer, cycle: int,
+                     avoid: FrozenSet[WireClass] = frozenset()) -> WireClass:
         """Bulk plane after the load-imbalance rule."""
-        if self.flags.pw_load_balance and self._has_b and self._has_pw:
+        if (self.flags.pw_load_balance and self._has_b and self._has_pw
+                and WireClass.B not in avoid
+                and WireClass.PW not in avoid):
             diverted = self._detector.redirect(
                 cycle, WireClass.B, WireClass.PW
             )
@@ -186,8 +225,9 @@ class WireSelector:
                 if diverted is not self._bulk:
                     self.pw_diverted_transfers += 1
                 return diverted
-        return self._bulk
+        return self.bulk_for(avoid)
 
-    def _bulk_segment(self, bits: int, transfer: Transfer,
-                      cycle: int) -> PlannedSegment:
-        return PlannedSegment(self._bulk_choice(transfer, cycle), bits)
+    def _bulk_segment(self, bits: int, transfer: Transfer, cycle: int,
+                      avoid: FrozenSet[WireClass] = frozenset()
+                      ) -> PlannedSegment:
+        return PlannedSegment(self._bulk_choice(transfer, cycle, avoid), bits)

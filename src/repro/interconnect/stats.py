@@ -36,6 +36,13 @@ class InterconnectStats:
     buffered_cycles: int = 0
     split_transfers: int = 0
     diverted_transfers: int = 0
+    # Fault-injection / graceful-degradation counters (all zero on a
+    # healthy network).  A corrupted segment still burns wires and
+    # energy; its retransmission is a fresh grant recorded on top.
+    corrupted_segments: int = 0
+    retransmissions: int = 0
+    retry_escalations: int = 0
+    degraded_reroutes: int = 0
 
     def record_segment(self, wire_class: WireClass, bits: int,
                        energy_weight: int, kind: TransferKind) -> None:

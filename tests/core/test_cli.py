@@ -67,3 +67,80 @@ class TestParser:
         assert args.instructions > 0
         assert args.warmup >= 0
         assert args.benchmarks is None
+        assert args.workers == 1
+        assert args.run_timeout is None
+        assert args.max_retries == 0
+
+
+class TestArgumentValidation:
+    def _error_of(self, argv, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+        return capsys.readouterr().err
+
+    def test_rejects_zero_workers(self, capsys):
+        err = self._error_of(["table3", "--workers", "0"], capsys)
+        assert "at least 1" in err and "serial" in err
+
+    def test_rejects_negative_workers(self, capsys):
+        err = self._error_of(["table3", "--workers", "-2"], capsys)
+        assert "at least 1" in err
+
+    def test_rejects_non_integer_workers(self, capsys):
+        err = self._error_of(["table3", "--workers", "two"], capsys)
+        assert "whole number" in err and "'two'" in err
+
+    def test_rejects_non_integer_seed(self, capsys):
+        err = self._error_of(["run", "--seed", "abc"], capsys)
+        assert "integer" in err and "'abc'" in err
+
+    def test_accepts_negative_seed(self):
+        args = build_parser().parse_args(["run", "--seed", "-7"])
+        assert args.seed == -7
+
+    def test_rejects_non_positive_timeout(self, capsys):
+        err = self._error_of(["run", "--run-timeout", "0"], capsys)
+        assert "positive" in err
+        err = self._error_of(["run", "--run-timeout", "soon"], capsys)
+        assert "seconds" in err
+
+    def test_rejects_negative_retries(self, capsys):
+        err = self._error_of(["run", "--max-retries", "-1"], capsys)
+        assert "non-negative" in err
+
+    def test_rejects_malformed_fault_spec(self, capsys):
+        err = self._error_of(["run", "--fault-spec", "kill=L@c0"], capsys)
+        assert "CLASS@link@cycle" in err
+
+    def test_rejects_unknown_fault_clause(self, capsys):
+        err = self._error_of(["run", "--fault-spec", "zap=1"], capsys)
+        assert "unknown fault clause" in err
+
+    def test_fault_spec_canonicalized(self):
+        args = build_parser().parse_args(
+            ["run", "--fault-spec", "kill=L@c0@100; kill=B@c1@50"])
+        assert args.fault_spec == "kill=B@c1@50;kill=L@c0@100"
+
+
+class TestFaultCommands:
+    def test_run_with_fault_spec_prints_degradation(self, capsys,
+                                                    monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["run", "--model", "X", "--benchmark", "gzip",
+                     "--instructions", "800", "--warmup", "200",
+                     "--fault-spec", "kill=L@*@100"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults (kill=L@*@100)" in out
+        assert "planes killed" in out
+
+    def test_faults_subcommand_renders_table(self, capsys, monkeypatch,
+                                             tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["faults", "--benchmarks", "gzip",
+                     "--instructions", "500", "--warmup", "120"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degradation sweep" in out
+        assert "fault-free" in out
+        assert "L-plane kill" in out

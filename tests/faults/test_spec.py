@@ -1,0 +1,146 @@
+"""Tests for fault specification parsing and canonicalization."""
+
+import pytest
+
+from repro.faults import NULL_FAULTS, FaultSpec, FaultSpecError, PlaneKill
+from repro.wires import WireClass
+
+
+class TestFaultSpecBasics:
+    def test_null_spec(self):
+        assert NULL_FAULTS.is_null
+        assert NULL_FAULTS.canonical() == ""
+
+    def test_ber_spec_not_null(self):
+        assert not FaultSpec(ber=1e-6).is_null
+
+    def test_kill_spec_not_null(self):
+        spec = FaultSpec(kills=(PlaneKill(WireClass.L),))
+        assert not spec.is_null
+
+    def test_unity_derate_is_null(self):
+        spec = FaultSpec(derates=((WireClass.PW, 1.0),))
+        assert spec.is_null
+
+    def test_derate_for(self):
+        spec = FaultSpec(derates=((WireClass.PW, 1.5),))
+        assert spec.derate_for(WireClass.PW) == 1.5
+        assert spec.derate_for(WireClass.B) == 1.0
+
+    def test_hashable(self):
+        a = FaultSpec(ber=1e-6, kills=(PlaneKill(WireClass.L),))
+        b = FaultSpec(ber=1e-6, kills=(PlaneKill(WireClass.L),))
+        assert hash(a) == hash(b) and a == b
+
+
+class TestValidation:
+    def test_rejects_ber_out_of_range(self):
+        with pytest.raises(FaultSpecError):
+            FaultSpec(ber=1.0)
+        with pytest.raises(FaultSpecError):
+            FaultSpec(ber=-0.1)
+
+    def test_rejects_negative_retry_budget(self):
+        with pytest.raises(FaultSpecError):
+            FaultSpec(retry_budget=-1)
+
+    def test_rejects_speedup_derate(self):
+        with pytest.raises(FaultSpecError, match=">= 1.0"):
+            FaultSpec(derates=((WireClass.B, 0.5),))
+
+    def test_rejects_duplicate_derate(self):
+        with pytest.raises(FaultSpecError, match="duplicate"):
+            FaultSpec(derates=((WireClass.B, 1.1), (WireClass.B, 1.2)))
+
+    def test_rejects_negative_kill_cycle(self):
+        with pytest.raises(FaultSpecError):
+            PlaneKill(WireClass.L, cycle=-1)
+
+    def test_rejects_empty_kill_link(self):
+        with pytest.raises(FaultSpecError):
+            PlaneKill(WireClass.L, link="")
+
+
+class TestParsing:
+    def test_parse_empty(self):
+        assert FaultSpec.parse("").is_null
+
+    def test_parse_ber(self):
+        assert FaultSpec.parse("ber=1e-6").ber == 1e-6
+
+    def test_parse_kill(self):
+        spec = FaultSpec.parse("kill=L@c0@2000")
+        assert spec.kills == (
+            PlaneKill(WireClass.L, link="c0", cycle=2000),
+        )
+
+    def test_parse_kill_wildcard(self):
+        spec = FaultSpec.parse("kill=B@*@0")
+        assert spec.kills[0].link == "*"
+        assert spec.kills[0].cycle == 0
+
+    def test_parse_derates(self):
+        spec = FaultSpec.parse("derate=PW:1.2,B:1.1")
+        assert spec.derate_for(WireClass.PW) == 1.2
+        assert spec.derate_for(WireClass.B) == 1.1
+
+    def test_parse_retries(self):
+        assert FaultSpec.parse("retries=2").retry_budget == 2
+
+    def test_parse_combined(self):
+        spec = FaultSpec.parse(
+            "ber=1e-6; kill=L@c0@2000; derate=PW:1.2; retries=3"
+        )
+        assert spec.ber == 1e-6
+        assert len(spec.kills) == 1
+        assert spec.retry_budget == 3
+
+    def test_lowercase_wire_class_accepted(self):
+        spec = FaultSpec.parse("kill=l@*@0")
+        assert spec.kills[0].wire_class is WireClass.L
+
+    def test_rejects_unknown_clause(self):
+        with pytest.raises(FaultSpecError, match="unknown fault clause"):
+            FaultSpec.parse("frobnicate=1")
+
+    def test_rejects_missing_value(self):
+        with pytest.raises(FaultSpecError, match="key=value"):
+            FaultSpec.parse("ber")
+
+    def test_rejects_unknown_wire_class(self):
+        with pytest.raises(FaultSpecError, match="unknown wire class"):
+            FaultSpec.parse("kill=Q@*@0")
+
+    def test_rejects_malformed_kill(self):
+        with pytest.raises(FaultSpecError, match="CLASS@link@cycle"):
+            FaultSpec.parse("kill=L@c0")
+
+    def test_rejects_bad_kill_cycle(self):
+        with pytest.raises(FaultSpecError, match="integer"):
+            FaultSpec.parse("kill=L@c0@soon")
+
+    def test_rejects_malformed_derate(self):
+        with pytest.raises(FaultSpecError, match="CLASS:factor"):
+            FaultSpec.parse("derate=PW")
+
+    def test_rejects_bad_ber(self):
+        with pytest.raises(FaultSpecError, match="number"):
+            FaultSpec.parse("ber=lots")
+
+
+class TestCanonical:
+    def test_round_trip(self):
+        text = "ber=1e-06;kill=L@c0@2000;derate=PW:1.2;retries=3"
+        spec = FaultSpec.parse(text)
+        assert FaultSpec.parse(spec.canonical()) == spec
+
+    def test_kill_order_normalized(self):
+        a = FaultSpec.parse("kill=L@c0@100;kill=B@c1@50")
+        b = FaultSpec.parse("kill=B@c1@50;kill=L@c0@100")
+        assert a.canonical() == b.canonical()
+
+    def test_default_retries_omitted(self):
+        assert "retries" not in FaultSpec.parse("ber=1e-6").canonical()
+
+    def test_non_default_retries_kept(self):
+        assert "retries=2" in FaultSpec.parse("retries=2;ber=1e-6").canonical()

@@ -1,0 +1,198 @@
+"""Network-level fault injection: kills, reroutes, NACK/retransmission."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultSpec
+from repro.interconnect.errors import ConfigError, UnroutableError
+from repro.interconnect.message import Transfer, TransferKind
+from repro.interconnect.network import Network
+from repro.interconnect.plane import LinkComposition
+from repro.interconnect.topology import CrossbarTopology
+from repro.wires import WireClass
+
+
+def make_network(wires, spec_text=None, seed=0):
+    injector = None
+    if spec_text is not None:
+        injector = FaultInjector(FaultSpec.parse(spec_text), seed=seed)
+    return Network(CrossbarTopology(4), LinkComposition(wires),
+                   injector=injector)
+
+
+def run_cycles(net, upto):
+    for cycle in range(upto):
+        net.deliver_due(cycle)
+        net.tick(cycle)
+    net.deliver_due(upto)
+
+
+class ScriptedInjector(FaultInjector):
+    """Corrupts the first ``fail_attempts`` attempts on given planes."""
+
+    def __init__(self, fail_attempts, planes=None):
+        # A tiny non-zero BER arms the corruption path; draws are then
+        # overridden below, deterministically.
+        super().__init__(FaultSpec.parse("ber=1e-12;retries=2"), seed=0)
+        self.fail_attempts = fail_attempts
+        self.planes = planes
+
+    def corrupts(self, wire_class, kind, seq, bits, hops, attempt,
+                 leading=False):
+        if self.planes is not None and wire_class not in self.planes:
+            return False
+        return attempt < self.fail_attempts
+
+
+class TestPermanentKills:
+    def test_lwire_kill_flips_steering_to_bulk(self):
+        net = make_network({WireClass.B: 144, WireClass.L: 36},
+                           "kill=L@*@0")
+        seen = []
+        t = Transfer(kind=TransferKind.MISPREDICT, src="c0", dst="c1",
+                     on_arrival=seen.append)
+        net.submit(t, cycle=0)
+        run_cycles(net, 6)
+        assert seen == [2]  # B-Wire latency, not the 1-cycle L-Wire
+        assert net.selector.degraded_selections == 1
+        assert net.degradation_report().planes_killed == len(
+            net.topology.channels)
+
+    def test_lwire_kill_disables_address_split(self):
+        net = make_network({WireClass.B: 144, WireClass.L: 36},
+                           "kill=L@*@0")
+        net.submit(Transfer(kind=TransferKind.LOAD_ADDRESS, src="c0",
+                            dst="cache"), 0)
+        assert net.stats.split_transfers == 0
+
+    def test_queued_segment_rerouted_when_plane_dies(self):
+        net = make_network({WireClass.B: 144, WireClass.PW: 288},
+                           "kill=B@c0@1")
+        seen = []
+        for i in range(3):
+            net.submit(Transfer(kind=TransferKind.OPERAND, src="c0",
+                                dst="c1", seq=i,
+                                on_arrival=seen.append), 0)
+        run_cycles(net, 12)
+        assert len(seen) == 3
+        report = net.degradation_report()
+        assert report.degraded_reroutes >= 1
+        assert ("c0:out", WireClass.B, 1) in net.dead_planes()
+
+    def test_unroutable_when_no_plane_survives(self):
+        net = make_network({WireClass.B: 144}, "kill=B@*@0")
+        with pytest.raises(UnroutableError, match="no surviving"):
+            net.submit(Transfer(kind=TransferKind.OPERAND, src="c0",
+                                dst="c1"), 0)
+
+    def test_on_plane_kill_callback_fires_once_per_plane(self):
+        net = make_network({WireClass.B: 144, WireClass.PW: 288},
+                           "kill=B@c0@3")
+        killed = []
+        net.on_plane_kill = lambda ch, wc, cy: killed.append((ch, wc, cy))
+        run_cycles(net, 8)
+        assert sorted(ch for ch, _, _ in killed) == ["c0:in", "c0:out"]
+        assert all(wc is WireClass.B and cy == 3 for _, wc, cy in killed)
+
+
+class TestTransientCorruption:
+    def test_corrupted_segment_retransmitted_then_delivered(self):
+        net = make_network({WireClass.B: 144})
+        net.injector = ScriptedInjector(fail_attempts=1)
+        net._ber_active = True
+        seen = []
+        net.submit(Transfer(kind=TransferKind.OPERAND, src="c0", dst="c1",
+                            on_arrival=seen.append), 0)
+        run_cycles(net, 20)
+        report = net.degradation_report()
+        assert report.corrupted_segments == 1
+        assert report.retransmissions == 1
+        # NACK round trip: granted at 0, retried at 0 + 2*2 + 1 = 5,
+        # clean delivery two cycles later.
+        assert seen == [7]
+        retx = [r for r in net.utilization_report(cycles=20)
+                if r.retransmissions]
+        assert retx and retx[0].channel == "c0:out"
+
+    def test_corruption_still_burns_energy(self):
+        clean = make_network({WireClass.B: 144})
+        clean.submit(Transfer(kind=TransferKind.OPERAND, src="c0",
+                              dst="c1"), 0)
+        run_cycles(clean, 20)
+
+        net = make_network({WireClass.B: 144})
+        net.injector = ScriptedInjector(fail_attempts=1)
+        net._ber_active = True
+        net.submit(Transfer(kind=TransferKind.OPERAND, src="c0",
+                            dst="c1"), 0)
+        run_cycles(net, 20)
+        assert (net.stats.dynamic_energy()
+                > clean.stats.dynamic_energy())
+
+    def test_retry_budget_exhaustion_escalates_to_kill(self):
+        net = make_network({WireClass.B: 144, WireClass.PW: 288})
+        net.injector = ScriptedInjector(fail_attempts=99,
+                                        planes={WireClass.B})
+        net._ber_active = True
+        net._retry_budget = net.injector.spec.retry_budget
+        seen = []
+        net.submit(Transfer(kind=TransferKind.OPERAND, src="c0", dst="c1",
+                            on_arrival=seen.append), 0)
+        run_cycles(net, 60)
+        report = net.degradation_report()
+        assert report.retry_escalations == 1
+        assert report.retransmissions == net.injector.spec.retry_budget
+        assert ("c0:out", WireClass.B) in [
+            (ch, wc) for ch, wc, _ in net.dead_planes()
+        ]
+        assert len(seen) == 1  # delivered via the surviving PW plane
+
+
+class TestConfigErrors:
+    def test_kill_of_absent_plane_rejected_at_construction(self):
+        with pytest.raises(ConfigError, match="no such plane"):
+            make_network({WireClass.B: 144}, "kill=L@*@0")
+
+    def test_kill_of_unknown_link_rejected_at_construction(self):
+        with pytest.raises(ConfigError, match="no such link"):
+            make_network({WireClass.B: 144}, "kill=B@c9@0")
+
+    def test_composition_plane_raises_config_error_not_key_error(self):
+        composition = LinkComposition({WireClass.B: 144})
+        with pytest.raises(ConfigError, match="no L-Wires plane"):
+            composition.plane(WireClass.L)
+
+    def test_config_error_is_a_value_error(self):
+        # Call sites that caught KeyError/ValueError keep working.
+        assert issubclass(ConfigError, ValueError)
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_arrivals(self):
+        def arrivals():
+            net = make_network({WireClass.B: 144, WireClass.PW: 288},
+                               "ber=1e-3", seed=5)
+            seen = []
+            for i in range(40):
+                net.submit(Transfer(kind=TransferKind.OPERAND, src="c0",
+                                    dst="c1", seq=i,
+                                    on_arrival=seen.append), i)
+            run_cycles(net, 400)
+            return seen, net.degradation_report()
+
+        first, report_a = arrivals()
+        second, report_b = arrivals()
+        assert first == second
+        assert report_a == report_b
+        assert report_a.retransmissions > 0
+
+    def test_next_event_includes_retries_and_kills(self):
+        net = make_network({WireClass.B: 144, WireClass.PW: 288},
+                           "kill=B@c0@30")
+        assert net.next_event_cycle() == 30
+        net.injector = ScriptedInjector(fail_attempts=1)
+        net._ber_active = True
+        net.submit(Transfer(kind=TransferKind.OPERAND, src="c0",
+                            dst="c1"), 0)
+        net.tick(0)
+        assert not net.idle()
+        assert net.next_event_cycle() == 5  # the pending retransmission

@@ -93,3 +93,79 @@ class TestImbalanceDetector:
     def test_rejects_negative_threshold(self):
         with pytest.raises(ValueError):
             ImbalanceDetector(threshold=-1)
+
+
+class TestWindowEdgeCases:
+    def test_window_shorter_than_history(self):
+        """Only the trailing ``window`` cycles count, however long the
+        recorded history is."""
+        w = TrafficWindow(window=2)
+        for cycle in range(10):
+            w.record(cycle, WireClass.B)
+        # At cycle 9 the window covers cycles 8..9 only.
+        assert w.count(9, WireClass.B) == 2
+
+    def test_single_cycle_window(self):
+        w = TrafficWindow(window=1)
+        w.record(5, WireClass.B)
+        assert w.count(5, WireClass.B) == 1
+        assert w.count(6, WireClass.B) == 0
+
+    def test_zero_traffic_interval_resets_counts(self):
+        """A long quiet gap between bursts must fully expire the first
+        burst, not leave stale counts behind."""
+        w = TrafficWindow(window=5)
+        for _ in range(7):
+            w.record(0, WireClass.B)
+        assert w.count(0, WireClass.B) == 7
+        # Nothing recorded for 100 cycles: counts must read zero...
+        assert w.count(100, WireClass.B) == 0
+        # ...and new traffic after the gap counts from scratch.
+        w.record(100, WireClass.B)
+        assert w.count(100, WireClass.B) == 1
+
+    def test_query_on_empty_window(self):
+        w = TrafficWindow(window=5)
+        assert w.count(0, WireClass.B) == 0
+        assert w.count(10 ** 9, WireClass.PW) == 0
+
+    def test_detector_zero_traffic_interval_no_redirect(self):
+        d = ImbalanceDetector(window=5, threshold=10)
+        for _ in range(30):
+            d.record(0, WireClass.B)
+        assert d.redirect(0, WireClass.B, WireClass.PW) is WireClass.PW
+        # Quiet interval: both planes at zero is balanced, not diverted.
+        assert d.redirect(50, WireClass.B, WireClass.PW) is None
+
+    def test_threshold_exactly_at_boundary_both_directions(self):
+        """|a - b| == threshold keeps the default; one more transfer on
+        either side flips the decision (strictly-greater comparison)."""
+        d = ImbalanceDetector(window=5, threshold=4)
+        for _ in range(6):
+            d.record(0, WireClass.B)
+        for _ in range(2):
+            d.record(0, WireClass.PW)
+        assert d.redirect(0, WireClass.B, WireClass.PW) is None  # 6-2 == 4
+        d.record(0, WireClass.B)
+        assert d.redirect(0, WireClass.B, WireClass.PW) is WireClass.PW
+        for _ in range(6):
+            d.record(0, WireClass.PW)
+        # Now PW leads by 5 - 7... recount: B=7, PW=8, |diff|=1 -> None.
+        assert d.redirect(0, WireClass.B, WireClass.PW) is None
+        for _ in range(4):
+            d.record(0, WireClass.PW)
+        assert d.redirect(0, WireClass.B, WireClass.PW) is WireClass.B
+
+    def test_zero_threshold_any_imbalance_redirects(self):
+        d = ImbalanceDetector(window=5, threshold=0)
+        assert d.redirect(0, WireClass.B, WireClass.PW) is None  # 0 == 0
+        d.record(0, WireClass.B)
+        assert d.redirect(0, WireClass.B, WireClass.PW) is WireClass.PW
+
+    def test_boundary_event_at_window_edge(self):
+        """An event exactly ``window`` cycles old is expired; one cycle
+        younger is still counted."""
+        w = TrafficWindow(window=3)
+        w.record(7, WireClass.B)
+        assert w.count(9, WireClass.B) == 1   # age 2 < 3
+        assert w.count(10, WireClass.B) == 0  # age 3 == window: expired
