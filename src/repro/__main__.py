@@ -186,6 +186,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", default="X", choices=MODEL_NAMES)
     _add_window_args(p)
     _add_fault_spec_arg(p)
+
+    # "lint" is dispatched before parsing (its arguments belong to the
+    # simlint parser); registered here so it shows up in --help.
+    sub.add_parser(
+        "lint",
+        help="simlint: simulator-invariant static analysis "
+             "(see 'repro lint --list-rules')",
+    )
     return parser
 
 
@@ -284,6 +292,15 @@ def _cmd_faults(args: argparse.Namespace) -> str:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # The linter owns its argument surface (paths, --format,
+        # --baseline, ...); forward everything after "lint" verbatim
+        # instead of teaching argparse to ignore it.
+        from .analysis.simlint import main as simlint_main
+
+        return simlint_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     command = args.command
     if command == "models":

@@ -1,0 +1,161 @@
+"""Per-file context handed to every rule.
+
+Holds the parsed AST, the repo-relative path (rules scope themselves by
+package: ``src/repro/`` vs ``src/repro/harness/`` vs ``tests/``) and
+the inline ``# simlint: disable=CODE`` suppressions extracted from the
+token stream.
+
+Suppression comments follow the convention stated in the package doc:
+
+* on a code line, they apply to findings reported on that line;
+* on a line of their own, they apply to the next code line (so a
+  rationale can sit above a long statement).
+
+Codes are comma-separated and may end in ``x`` wildcards to cover a
+family (``SIM3xx`` suppresses every SIM3 rule); ``all`` suppresses
+everything.  Suppressing a whole family or ``all`` is meant for
+annotated boundaries like the crash-isolation worker, not for routine
+use -- prefer the exact code.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Set, Tuple
+
+_DISABLE_RE = re.compile(
+    r"#\s*simlint:\s*disable=([A-Za-z0-9x,\s]+)"
+)
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of suppression patterns for ``source``.
+
+    Patterns are uppercased verbatim tokens (``SIM101``, ``SIM3XX``,
+    ``ALL``); wildcard matching happens in :func:`suppressed`.
+    """
+    suppressions: Dict[int, Set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressions
+    # Lines that hold nothing but a comment (plus whitespace/NL).
+    code_lines: Set[int] = set()
+    for tok in tokens:
+        if tok.type in (tokenize.COMMENT, tokenize.NL,
+                        tokenize.NEWLINE, tokenize.INDENT,
+                        tokenize.DEDENT, tokenize.ENDMARKER):
+            continue
+        for ln in range(tok.start[0], tok.end[0] + 1):
+            code_lines.add(ln)
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _DISABLE_RE.search(tok.string)
+        if not match:
+            continue
+        codes = {
+            c.strip().upper()
+            for c in match.group(1).split(",")
+            if c.strip()
+        }
+        if not codes:
+            continue
+        line = tok.start[0]
+        if line not in code_lines:
+            # Standalone comment: applies to the next code line.
+            line = min(
+                (ln for ln in sorted(code_lines) if ln > line),
+                default=line,
+            )
+        suppressions.setdefault(line, set()).update(codes)
+    return suppressions
+
+
+def suppressed(code: str, patterns: Set[str]) -> bool:
+    """True if ``code`` matches any suppression pattern."""
+    code = code.upper()
+    for pattern in sorted(patterns):
+        if pattern == "ALL" or pattern == code:
+            return True
+        if pattern.endswith("X"):
+            prefix = pattern.rstrip("X")
+            if code.startswith(prefix) and len(code) == len(pattern):
+                return True
+    return False
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one file."""
+
+    path: Path  # absolute
+    rel: str  # posix path relative to the detected root
+    source: str
+    tree: ast.AST
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    _parents: Optional[Dict[ast.AST, ast.AST]] = None
+
+    # -- path scoping ----------------------------------------------------
+
+    @property
+    def in_src(self) -> bool:
+        """Inside the simulator package proper."""
+        return self.rel.startswith("src/repro/")
+
+    @property
+    def in_harness(self) -> bool:
+        """Inside the experiment harness (timing paths are legitimate)."""
+        return self.rel.startswith("src/repro/harness/")
+
+    @property
+    def in_tests(self) -> bool:
+        return self.rel.startswith("tests/")
+
+    # -- AST helpers -----------------------------------------------------
+
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        """Child -> parent map over the whole tree (built lazily)."""
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        """Nearest enclosing FunctionDef/AsyncFunctionDef, if any."""
+        parents = self.parents()
+        current = parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)):
+                return current
+            current = parents.get(current)
+        return None
+
+
+def load_context(path: Path, rel: str) -> Tuple[Optional[FileContext],
+                                                Optional[str]]:
+    """Parse ``path`` into a context, or return an error description."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return None, f"unreadable: {exc}"
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return None, f"syntax error: {exc.msg} (line {exc.lineno})"
+    return FileContext(
+        path=path,
+        rel=rel,
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source),
+    ), None

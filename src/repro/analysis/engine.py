@@ -1,0 +1,136 @@
+"""File discovery and rule execution.
+
+One process walks every requested path (typically ``src tests``),
+parses each file once, runs every registered rule over it, applies
+inline suppressions, then splits what remains against the committed
+baseline.  Ordering is fully deterministic: files sort by relative
+path, findings by (path, line, col, code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from .baseline import Baseline
+from .context import load_context, suppressed
+from .findings import Finding
+from .registry import all_rules
+
+#: Directory names never descended into.
+_SKIP_DIRS = {
+    "__pycache__", ".git", ".repro_cache", "build", "dist", ".eggs",
+    "node_modules",
+}
+
+#: Pseudo-rule code for files that cannot be analysed at all.
+PARSE_ERROR_CODE = "SIM000"
+
+
+def find_root(start: Path) -> Path:
+    """Nearest ancestor holding ``pyproject.toml`` (else the parent).
+
+    Relative paths in findings, suppression scoping (``src/repro/...``)
+    and the default baseline location all hang off this root.
+    """
+    start = start.resolve()
+    candidates = [start] if start.is_dir() else []
+    candidates.extend(start.parents)
+    for candidate in candidates:
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return start if start.is_dir() else start.parent
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Every ``.py`` file under ``paths``, deterministically ordered."""
+    files: List[Path] = []
+    seen: Set[Path] = set()
+    for path in paths:
+        path = path.resolve()
+        if path.is_file():
+            found: Iterable[Path] = [path]
+        else:
+            found = (
+                candidate for candidate in path.rglob("*.py")
+                if not any(part in _SKIP_DIRS or part.startswith(".")
+                           for part in candidate.relative_to(path).parts)
+            )
+        for candidate in found:
+            if candidate not in seen:
+                seen.add(candidate)
+                files.append(candidate)
+    files.sort()
+    return files
+
+
+# Accumulator the engine fills while linting, not a hashed value
+# type; mutability is the point here.
+@dataclass  # simlint: disable=SIM401
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)  # gate these
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_code(self) -> List[Tuple[str, int]]:
+        counts = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return sorted(counts.items())
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    baseline: Optional[Baseline] = None,
+    select: Optional[Set[str]] = None,
+    root: Optional[Path] = None,
+) -> LintResult:
+    """Run every rule over every file under ``paths``.
+
+    ``select`` restricts to the given codes (exact, upper-case);
+    ``root`` overrides repo-root detection (tests use this).
+    """
+    if not paths:
+        raise ValueError("lint_paths needs at least one path")
+    if root is None:
+        root = find_root(Path(paths[0]))
+    rules = all_rules()
+    if select:
+        rules = [rule for rule in rules if rule.code in select]
+    result = LintResult()
+    raw: List[Finding] = []
+    for file_path in discover_files([Path(p) for p in paths]):
+        try:
+            rel = file_path.relative_to(root).as_posix()
+        except ValueError:
+            rel = file_path.as_posix()
+        ctx, error = load_context(file_path, rel)
+        result.files_checked += 1
+        if ctx is None:
+            raw.append(Finding(
+                code=PARSE_ERROR_CODE,
+                message=f"could not analyse file: {error}",
+                path=rel, line=1, col=0,
+            ))
+            continue
+        for rule in rules:
+            for finding in rule.check(ctx):
+                patterns = ctx.suppressions.get(finding.line)
+                if patterns and suppressed(finding.code, patterns):
+                    result.suppressed += 1
+                    continue
+                raw.append(finding)
+    raw.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    if baseline is not None:
+        result.findings, result.baselined = baseline.partition(raw)
+    else:
+        result.findings = raw
+    return result

@@ -1,0 +1,177 @@
+"""The simlint command line.
+
+``python -m repro.analysis.simlint [paths...]`` -- also reachable as
+``repro lint``.  Exit status: 0 when every finding is baselined or
+suppressed, 1 when new findings exist, 2 on usage errors (unknown rule
+code, unusable baseline file).
+
+The default baseline is ``simlint-baseline.json`` at the detected repo
+root; it is only an allowlist -- ``--write-baseline`` regenerates it
+from the current findings (new entries are stamped ``TODO: justify``
+so un-rationalized entries stand out in review).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import Baseline, BaselineError
+from .engine import LintResult, find_root, lint_paths
+from .registry import all_rules, get_rule
+
+BASELINE_NAME = "simlint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="simulator-invariant static analysis "
+                    "(determinism, cache-key completeness, exception "
+                    "and model hygiene)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"], metavar="PATH",
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"baseline file (default: {BASELINE_NAME} at the repo "
+             f"root, if present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to the baseline file and "
+             "exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _resolve_select(text: Optional[str]) -> Optional[set]:
+    if text is None:
+        return None
+    codes = {c.strip().upper() for c in text.split(",") if c.strip()}
+    unknown = sorted(c for c in codes if get_rule(c) is None)
+    if unknown:
+        raise ValueError(
+            f"repro lint: unknown rule code(s): {', '.join(unknown)}; "
+            f"use --list-rules to see what is registered"
+        )
+    return codes
+
+
+def _render_human(result: LintResult, baseline_path: Optional[Path]
+                  ) -> str:
+    lines = [finding.render() for finding in result.findings]
+    counts = ", ".join(f"{code} x{count}"
+                       for code, count in result.counts_by_code())
+    summary = (
+        f"simlint: {len(result.findings)} finding(s)"
+        + (f" ({counts})" if counts else "")
+        + f", {len(result.baselined)} baselined"
+        + f", {result.suppressed} suppressed inline"
+        + f", {result.files_checked} file(s) checked"
+    )
+    if result.findings and baseline_path is None:
+        summary += f"\n(no {BASELINE_NAME} found; all findings are new)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _render_json(result: LintResult, baseline_path: Optional[Path]
+                 ) -> str:
+    return json.dumps({
+        "findings": [f.to_json() for f in result.findings],
+        "baselined": [f.to_json() for f in result.baselined],
+        "suppressed": result.suppressed,
+        "files_checked": result.files_checked,
+        "counts": dict(result.counts_by_code()),
+        "baseline": str(baseline_path) if baseline_path else None,
+        "ok": result.ok,
+    }, indent=2, sort_keys=True)
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.code}  {rule.summary}")
+        doc = (rule.check.__doc__ or "").strip().splitlines()
+        if doc:
+            lines.append(f"        {doc[0].strip()}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    try:
+        select = _resolve_select(args.select)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"repro lint: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    root = find_root(paths[0])
+
+    baseline_path: Optional[Path] = None
+    baseline: Optional[Baseline] = None
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    elif not args.no_baseline:
+        candidate = root / BASELINE_NAME
+        if candidate.is_file() or args.write_baseline:
+            baseline_path = candidate
+    if (baseline_path is not None and not args.no_baseline
+            and not args.write_baseline):
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+
+    result = lint_paths(paths, baseline=baseline, select=select,
+                        root=root)
+
+    if args.write_baseline:
+        if baseline_path is None:
+            baseline_path = root / BASELINE_NAME
+        Baseline.from_findings(result.findings).save(baseline_path)
+        print(f"simlint: wrote {len(result.findings)} finding(s) to "
+              f"{baseline_path}")
+        return 0
+
+    if args.format == "json":
+        print(_render_json(result, baseline_path))
+    else:
+        print(_render_human(result, baseline_path))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,7 +43,6 @@ from ..workloads.trace import (
     EXECUTION_LATENCY,
     NUM_ARCH_REGS,
     InstructionRecord,
-    OpClass,
 )
 from .config import InterconnectConfig, ProcessorConfig
 from .instruction import DynInstr, is_producer

@@ -9,8 +9,8 @@ machinery to inject them.  Degraded-mode routing itself lives in
 :mod:`repro.interconnect.network`.
 """
 
-from .spec import NULL_FAULTS, FaultSpec, FaultSpecError, PlaneKill
 from .injector import FaultInjector
+from .spec import NULL_FAULTS, FaultSpec, FaultSpecError, PlaneKill
 
 __all__ = [
     "NULL_FAULTS",

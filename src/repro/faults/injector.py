@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import math
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..interconnect.errors import ConfigError
 from ..wires import CANONICAL_SPECS, WireClass

@@ -1,5 +1,21 @@
 """Experiment harness: regenerates every table and figure of the paper."""
 
+from .claims import ClaimResult, render_claims, run_claims
+from .faultsweep import (
+    DEFAULT_SCENARIOS,
+    FaultScenario,
+    FaultSweepResult,
+    render_faultsweep,
+    run_faultsweep,
+)
+from .figure3 import Figure3Result, render_figure3, run_figure3
+from .formatting import (
+    percent_delta,
+    render_bar_chart,
+    render_table,
+    shape_check,
+)
+from .paperdata import PAPER_CLAIMS, PAPER_TABLE3, PAPER_TABLE4
 from .runner import (
     CACHE_VERSION,
     ExperimentPlan,
@@ -10,24 +26,8 @@ from .runner import (
     SweepReport,
     SweepSummary,
 )
-from .faultsweep import (
-    DEFAULT_SCENARIOS,
-    FaultScenario,
-    FaultSweepResult,
-    render_faultsweep,
-    run_faultsweep,
-)
-from .formatting import (
-    percent_delta,
-    render_bar_chart,
-    render_table,
-    shape_check,
-)
-from .paperdata import PAPER_CLAIMS, PAPER_TABLE3, PAPER_TABLE4
-from .figure3 import Figure3Result, render_figure3, run_figure3
 from .table3 import TableResult, render_table3, run_table3, shape_summary
 from .table4 import render_table4, run_table4
-from .claims import ClaimResult, render_claims, run_claims
 
 __all__ = [
     "CACHE_VERSION",

@@ -54,13 +54,13 @@ from typing import (
 from ..core.config import InterconnectConfig
 from ..core.metrics import BenchmarkRun, ModelResult
 from ..core.models import InterconnectModel, model
-from ..interconnect.selection import PolicyFlags
 from ..core.simulation import (
     DEFAULT_INSTRUCTIONS,
     DEFAULT_SEED,
     DEFAULT_WARMUP,
     simulate_benchmark,
 )
+from ..interconnect.selection import PolicyFlags
 from ..workloads.spec2k import BENCHMARK_NAMES
 
 #: Bump when simulator changes invalidate cached results.
@@ -285,7 +285,11 @@ def _worker_entry(conn, plan: ExperimentPlan,
     try:
         run, duration = _execute_plan(plan, interconnect_model)
         payload = ("ok", run, duration)
-    except BaseException as exc:  # noqa: BLE001 - isolate *everything*
+    # Crash-isolation boundary: this worker must convert *any* failure
+    # (simulator bug, MemoryError, KeyboardInterrupt forwarded by the
+    # pool) into a structured ("error", ...) message so one bad run
+    # cannot kill the sweep; the parent decides retry-vs-manifest.
+    except BaseException as exc:  # simlint: disable=SIM302
         payload = ("error", type(exc).__name__, str(exc))
     try:
         conn.send(payload)
@@ -502,7 +506,11 @@ class ExperimentRunner:
                     try:
                         outcomes[plan] = _execute_plan(
                             plan, models.get(plan) if models else None)
-                    except Exception as exc:  # noqa: BLE001
+                    # Crash-isolation boundary (serial path): mirror
+                    # the worker-pool contract -- an erroring plan
+                    # becomes a RunFailure in the sweep manifest, it
+                    # must not abort the remaining plans.
+                    except Exception as exc:  # simlint: disable=SIM302
                         outcomes[plan] = RunFailure(
                             plan=plan, reason="error",
                             detail=f"{type(exc).__name__}: {exc}",

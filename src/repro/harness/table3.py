@@ -16,8 +16,8 @@ from ..core.models import MODEL_NAMES, model
 from ..core.simulation import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP
 from ..workloads.spec2k import BENCHMARK_NAMES
 from .formatting import render_table
-from .runner import ExperimentPlan, ExperimentRunner
 from .paperdata import PAPER_TABLE3
+from .runner import ExperimentPlan, ExperimentRunner
 
 
 @dataclass(frozen=True)

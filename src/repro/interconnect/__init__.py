@@ -4,6 +4,8 @@ Links are bundles of wire planes (B-, PW-, L-Wires); a per-transfer
 selection policy chooses the plane each message rides.
 """
 
+from .errors import ConfigError, UnroutableError
+from .loadbalance import ImbalanceDetector, TrafficWindow
 from .message import (
     DEFAULT_BITS,
     LS_COMPARE_BITS,
@@ -21,7 +23,10 @@ from .message import (
     TransferKind,
     is_narrow,
 )
+from .network import ChannelReport, DegradationReport, Network
 from .plane import LinkComposition, PlaneSpec
+from .selection import PlannedSegment, PolicyFlags, WireSelector
+from .stats import InterconnectStats, PlaneActivity, leakage_energy
 from .topology import (
     CACHE_NODE,
     CrossbarTopology,
@@ -30,11 +35,6 @@ from .topology import (
     Topology,
     cluster_node,
 )
-from .errors import ConfigError, UnroutableError
-from .loadbalance import ImbalanceDetector, TrafficWindow
-from .selection import PlannedSegment, PolicyFlags, WireSelector
-from .stats import InterconnectStats, PlaneActivity, leakage_energy
-from .network import ChannelReport, DegradationReport, Network
 
 __all__ = [
     "DEFAULT_BITS",

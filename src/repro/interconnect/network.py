@@ -467,7 +467,11 @@ class Network:
         if cycles < 1:
             raise ValueError("cycles must be positive")
         reports = []
-        for key, bits in self._channel_bits.items():
+        # Sorted so equal-utilization rows tie-break by (channel,
+        # plane) instead of by whatever order traffic first touched
+        # them -- the report must survive refactors of the grant path.
+        for key, bits in sorted(self._channel_bits.items(),
+                                key=lambda kv: _queue_order(kv[0])):
             channel, plane = key
             capacity = self._capacity(key)
             reports.append(ChannelReport(

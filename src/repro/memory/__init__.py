@@ -2,10 +2,10 @@
 
 from .cache import SetAssocCache
 from .depspec import MemoryDependencePredictor
-from .tlb import TLB
 from .hierarchy import HierarchyConfig, HitLevel, MemoryHierarchy
-from .pipeline import AccessResult, CachePipeline
 from .lsq import LoadStoreQueue
+from .pipeline import AccessResult, CachePipeline
+from .tlb import TLB
 
 __all__ = [
     "SetAssocCache",

@@ -5,6 +5,17 @@ make heterogeneous wires possible -- and its Table 2, the wire parameter
 set the rest of the library consumes.
 """
 
+from .catalog import (
+    CANONICAL_SPECS,
+    CROSSBAR_LATENCY,
+    REFERENCE_LENGTH,
+    RING_HOP_LATENCY,
+    Table2Row,
+    derive_wire_spec,
+    derived_delay_ratio_l_vs_w,
+    paper_delay_ratio_l_vs_w,
+    table2_rows,
+)
 from .geometry import (
     EPS0,
     RHO_COPPER,
@@ -26,17 +37,6 @@ from .transmission import (
     transmission_line_speedup,
 )
 from .wiretypes import WireClass, WireSpec
-from .catalog import (
-    CANONICAL_SPECS,
-    CROSSBAR_LATENCY,
-    REFERENCE_LENGTH,
-    RING_HOP_LATENCY,
-    Table2Row,
-    derive_wire_spec,
-    derived_delay_ratio_l_vs_w,
-    paper_delay_ratio_l_vs_w,
-    table2_rows,
-)
 
 __all__ = [
     "EPS0",

@@ -1,0 +1,48 @@
+"""Fixtures for the simlint test suite.
+
+Every test builds a miniature repo under ``tmp_path`` (its own
+``pyproject.toml`` marks the root, so relative paths and rule scoping
+behave exactly as in the real tree) and lints it in-process.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_paths
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write ``files`` (rel-path -> source) and lint them.
+
+    Returns the LintResult; findings carry paths relative to the tmp
+    root, so ``src/repro/core/x.py`` scoping works as in the repo.
+    """
+
+    def run(files, select=None, baseline=None):
+        (tmp_path / "pyproject.toml").write_text(
+            "[project]\nname = 'fixture'\n"
+        )
+        tops = []
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+            top = tmp_path / rel.split("/")[0]
+            if top not in tops:
+                tops.append(top)
+        return lint_paths(tops, baseline=baseline,
+                          select=select, root=tmp_path)
+
+    return run
+
+
+@pytest.fixture
+def codes_of():
+    """Findings -> sorted (code, line) pairs, for compact asserts."""
+
+    def extract(result):
+        return sorted((f.code, f.line) for f in result.findings)
+
+    return extract

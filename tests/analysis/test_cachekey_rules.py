@@ -1,0 +1,139 @@
+"""SIM2xx: cache-key completeness.
+
+This family exists because of a real bug class: a new plan field that
+silently shares cache entries with plans that differ in it.  The last
+test pins the invariant on the *actual* ExperimentPlan in the repo.
+"""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+PLAN_TEMPLATE = """\
+    import hashlib
+    import json
+    from dataclasses import dataclass
+
+    CACHE_VERSION = 3
+
+
+    @dataclass(frozen=True)
+    class Plan:
+        model: str
+        benchmark: str
+        seed: int = 0
+
+        def cache_key(self):
+            payload = json.dumps(
+                [{key_fields}], sort_keys=True)
+            return hashlib.sha256(payload.encode()).hexdigest()
+"""
+
+
+def plan_module(key_fields):
+    return PLAN_TEMPLATE.format(key_fields=key_fields)
+
+
+class TestSIM201FieldCompleteness:
+    def test_complete_key_is_fine(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": plan_module(
+            "CACHE_VERSION, self.model, self.benchmark, self.seed"
+        )}, select={"SIM201"})
+        assert result.findings == []
+
+    def test_missing_field_is_flagged_at_its_declaration(
+            self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": plan_module(
+            "CACHE_VERSION, self.model, self.benchmark"
+        )}, select={"SIM201"})
+        assert [f.code for f in result.findings] == ["SIM201"]
+        finding = result.findings[0]
+        assert "'seed'" in finding.message
+        assert finding.line == 12  # the `seed: int = 0` line
+
+    def test_asdict_serialization_counts_as_complete(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            import hashlib
+            import json
+            from dataclasses import asdict, dataclass
+
+
+            @dataclass(frozen=True)
+            class Plan:
+                model: str
+                seed: int = 0
+
+                def cache_key(self):
+                    payload = json.dumps(asdict(self), sort_keys=True)
+                    return hashlib.sha256(payload.encode()).hexdigest()
+            """}, select={"SIM201"})
+        assert result.findings == []
+
+    def test_classvar_and_private_fields_are_ignored(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            from dataclasses import dataclass
+            from typing import ClassVar
+
+
+            @dataclass(frozen=True)
+            class Plan:
+                model: str
+                SCHEMA: ClassVar[int] = 1
+                _scratch: int = 0
+
+                def cache_key(self):
+                    return self.model
+            """}, select={"SIM201"})
+        assert result.findings == []
+
+    def test_classes_without_cache_key_are_ignored(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            from dataclasses import dataclass
+
+
+            @dataclass(frozen=True)
+            class Stats:
+                hits: int
+                misses: int
+            """}, select={"SIM201"})
+        assert result.findings == []
+
+
+class TestSIM202CacheVersionPin:
+    def test_key_without_version_is_flagged(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": plan_module(
+            "self.model, self.benchmark, self.seed"
+        )}, select={"SIM202"})
+        assert [f.code for f in result.findings] == ["SIM202"]
+        assert "CACHE_VERSION" in result.findings[0].message
+
+    def test_module_without_version_is_ignored(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            from dataclasses import dataclass
+
+
+            @dataclass(frozen=True)
+            class Plan:
+                model: str
+
+                def cache_key(self):
+                    return self.model
+            """}, select={"SIM202"})
+        assert result.findings == []
+
+
+class TestRealExperimentPlan:
+    def test_repo_plan_cache_key_is_complete(self):
+        """The actual ExperimentPlan must satisfy SIM201/SIM202.
+
+        If this fails you added a plan field without extending
+        cache_key() -- exactly the silent wrong-results bug simlint
+        exists to stop.
+        """
+        runner = REPO_ROOT / "src" / "repro" / "harness" / "runner.py"
+        result = lint_paths([runner], select={"SIM201", "SIM202"},
+                            root=REPO_ROOT)
+        assert result.findings == []
+        assert result.files_checked == 1

@@ -1,0 +1,119 @@
+"""SIM4xx: model hygiene fixtures."""
+
+
+class TestSIM401FrozenSpecs:
+    def test_flags_unfrozen_plan_at_decorator_line(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            from dataclasses import dataclass
+
+
+            @dataclass
+            class SweepPlan:
+                model: str
+            """}, select={"SIM401"})
+        assert [f.code for f in result.findings] == ["SIM401"]
+        finding = result.findings[0]
+        assert "SweepPlan" in finding.message
+        assert finding.line == 4  # the @dataclass line, not `class`
+
+    def test_flags_frozen_false(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            from dataclasses import dataclass
+
+
+            @dataclass(frozen=False, eq=True)
+            class WireSpec:
+                width: int
+            """}, select={"SIM401"})
+        assert [f.code for f in result.findings] == ["SIM401"]
+
+    def test_frozen_spec_is_fine(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            from dataclasses import dataclass
+
+
+            @dataclass(frozen=True)
+            class WireSpec:
+                width: int
+            """}, select={"SIM401"})
+        assert result.findings == []
+
+    def test_worker_types_are_not_value_types(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            from dataclasses import dataclass, field
+
+
+            @dataclass
+            class Transfer:
+                src: str
+                hops: list = field(default_factory=list)
+            """}, select={"SIM401"})
+        assert result.findings == []
+
+    def test_rule_is_src_only(self, lint_tree):
+        result = lint_tree({"tests/test_x.py": """\
+            from dataclasses import dataclass
+
+
+            @dataclass
+            class FakePlan:
+                model: str
+            """}, select={"SIM401"})
+        assert result.findings == []
+
+
+class TestSIM402MutableDefaults:
+    def test_flags_literal_and_constructor_defaults(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            def run(steps=[], opts=dict(), *, tags={"a"}):
+                return steps, opts, tags
+            """}, select={"SIM402"})
+        assert [f.code for f in result.findings] == (
+            ["SIM402", "SIM402", "SIM402"]
+        )
+
+    def test_none_default_is_fine(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            def run(steps=None, limit=4, name="x"):
+                steps = [] if steps is None else steps
+                return steps
+            """}, select={"SIM402"})
+        assert result.findings == []
+
+    def test_fires_in_tests_too(self, lint_tree):
+        result = lint_tree({"tests/test_x.py": """\
+            def helper(acc=[]):
+                return acc
+            """}, select={"SIM402"})
+        assert [f.code for f in result.findings] == ["SIM402"]
+
+
+class TestSIM403FloatEquality:
+    def test_flags_fractional_equality(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            def check(ipc, delta):
+                return ipc == 0.95 or delta != -0.5
+            """}, select={"SIM403"})
+        assert [f.code for f in result.findings] == ["SIM403", "SIM403"]
+        assert "0.95" in result.findings[0].message
+
+    def test_whole_valued_sentinels_are_allowed(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            def check(util, weight):
+                return util == 1.0 or weight == 0.0
+            """}, select={"SIM403"})
+        assert result.findings == []
+
+    def test_ordering_comparisons_are_fine(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            def check(util):
+                return 0.25 < util <= 0.75
+            """}, select={"SIM403"})
+        assert result.findings == []
+
+    def test_rule_is_src_only(self, lint_tree):
+        result = lint_tree({"tests/test_x.py": """\
+            def test_exact():
+                assert 0.5 == 0.5
+            """}, select={"SIM403"})
+        assert result.findings == []

@@ -1,0 +1,80 @@
+"""Inline ``# simlint: disable=...`` suppression semantics."""
+
+
+class TestInlineSuppression:
+    def test_same_line_suppression(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            import random
+
+            def draw():
+                return random.random()  # simlint: disable=SIM101
+            """}, select={"SIM101"})
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_standalone_comment_covers_next_code_line(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            import random
+
+            def draw():
+                # simlint: disable=SIM101
+                return random.random()
+            """}, select={"SIM101"})
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_family_wildcard(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            def run(step):
+                try:
+                    step()
+                except Exception:  # simlint: disable=SIM3xx
+                    return None
+            """}, select={"SIM302"})
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_disable_all(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            import random
+
+            def draw():
+                return random.random()  # simlint: disable=all
+            """})
+        assert result.findings == []
+        assert result.suppressed >= 1
+
+    def test_non_matching_code_still_reports(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            import random
+
+            def draw():
+                return random.random()  # simlint: disable=SIM301
+            """}, select={"SIM101"})
+        assert [f.code for f in result.findings] == ["SIM101"]
+        assert result.suppressed == 0
+
+    def test_suppression_on_other_line_has_no_effect(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            import random
+
+            def seed_it():
+                random.seed(0)  # simlint: disable=SIM101
+
+            def draw():
+                return random.random()
+            """}, select={"SIM101"})
+        assert [f.code for f in result.findings] == ["SIM101"]
+        assert result.suppressed == 1
+
+    def test_comma_separated_codes(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            import random
+            import time
+
+            def draw():
+                # simlint: disable=SIM101, SIM102
+                return random.random() + time.time()
+            """}, select={"SIM101", "SIM102"})
+        assert result.findings == []
+        assert result.suppressed == 2

@@ -10,7 +10,6 @@ from repro.harness.runner import (
     ExperimentPlan,
     ExperimentRunner,
     ResultCache,
-    RunFailure,
     SweepError,
     SweepReport,
 )

@@ -10,8 +10,8 @@ from repro.interconnect.message import Transfer, TransferKind
 from repro.interconnect.network import Network
 from repro.interconnect.plane import LinkComposition
 from repro.interconnect.topology import CrossbarTopology, HierarchicalTopology
-from repro.workloads.trace import InstructionRecord, OpClass
 from repro.wires import WireClass
+from repro.workloads.trace import InstructionRecord, OpClass
 
 # -- strategies -------------------------------------------------------------
 

@@ -9,7 +9,7 @@ from repro.interconnect.stats import (
     PlaneActivity,
     leakage_energy,
 )
-from repro.wires import CANONICAL_SPECS, WireClass
+from repro.wires import WireClass
 
 
 class TestRecording:

@@ -6,7 +6,6 @@ from repro.interconnect.topology import (
     CACHE_NODE,
     CrossbarTopology,
     HierarchicalTopology,
-    cluster_node,
 )
 from repro.wires import WireClass
 

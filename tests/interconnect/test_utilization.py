@@ -91,3 +91,23 @@ class TestUtilizationReport:
         out = [r for r in net.utilization_report()
                if r.channel == "c0:out"][0]
         assert out.utilization == pytest.approx(1.0)
+
+    def test_tie_order_independent_of_traffic_order(self):
+        # Regression (simlint SIM104): equal-utilization rows used to
+        # tie-break by dict insertion order, i.e. by which channel saw
+        # traffic first.  Two mirrored networks whose only difference
+        # is submission order must render identical reports.
+        first = make_network()
+        drive(first, [("c0", "c1", 0), ("c3", "c2", 0)])
+        second = make_network()
+        drive(second, [("c3", "c2", 0), ("c0", "c1", 0)])
+        def rows(net):
+            return [(r.channel, r.wire_class, r.utilization)
+                    for r in net.utilization_report()]
+
+        assert rows(first) == rows(second)
+        # All four rows tie at full utilization: order must be the
+        # deterministic (channel, plane) sort, not insertion order.
+        assert [r[0] for r in rows(first)] == sorted(
+            r[0] for r in rows(first)
+        )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.workloads.generator import StreamKind, TraceGenerator, WorkloadProfile
+from repro.workloads.generator import TraceGenerator, WorkloadProfile
 from repro.workloads.trace import NO_REG, NUM_ARCH_REGS, OpClass
 
 
