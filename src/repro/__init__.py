@@ -20,6 +20,7 @@ See DESIGN.md for the full system inventory and EXPERIMENTS.md for
 paper-vs-measured results.
 """
 
+from ._version import package_version
 from .core import (
     ClusteredProcessor,
     InterconnectConfig,
@@ -47,7 +48,7 @@ from .interconnect import (
 from .wires import WireClass, WireSpec, table2_rows
 from .workloads import BENCHMARK_NAMES, TraceGenerator, WorkloadProfile, profile
 
-__version__ = "1.0.0"
+__version__ = package_version()
 
 __all__ = [
     "ClusteredProcessor",

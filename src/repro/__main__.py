@@ -11,6 +11,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from ._version import package_version
 from .core.models import MODEL_NAMES, all_models, model
 from .core.simulation import (
     DEFAULT_INSTRUCTIONS,
@@ -139,6 +140,16 @@ def _add_window_args(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="bypass the on-disk result cache for this invocation",
     )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="collect and print telemetry for this invocation "
+             "(simulator events for 'run', harness profiling for sweeps)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Chrome-trace JSON (Perfetto / chrome://tracing) "
+             "of this invocation to PATH; implies --telemetry",
+    )
 
 
 def _add_fault_spec_arg(parser: argparse.ArgumentParser) -> None:
@@ -155,6 +166,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'Microarchitectural Wire Management "
                     "for Performance and Power in Partitioned "
                     "Architectures' (HPCA 2005)",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"repro {package_version()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -186,6 +201,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", default="X", choices=MODEL_NAMES)
     _add_window_args(p)
     _add_fault_spec_arg(p)
+
+    p = sub.add_parser(
+        "trace",
+        help="trace one simulation: cycle-stamped events, Chrome-trace "
+             "JSON export, per-plane/decision-reason summary",
+    )
+    p.add_argument("model", choices=MODEL_NAMES,
+                   help="interconnect model to simulate")
+    p.add_argument("--benchmark", default="gzip")
+    p.add_argument("--clusters", type=int, default=4)
+    p.add_argument("--latency-scale", type=float, default=1.0)
+    p.add_argument(
+        "--instructions", type=int, default=DEFAULT_INSTRUCTIONS,
+        help="measured instructions",
+    )
+    p.add_argument(
+        "--warmup", type=int, default=DEFAULT_WARMUP,
+        help="warmup instructions",
+    )
+    p.add_argument(
+        "--seed", type=_seed, default=DEFAULT_SEED,
+        help=f"workload RNG seed (default: {DEFAULT_SEED})",
+    )
+    _add_fault_spec_arg(p)
+    p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the Chrome-trace JSON here (load in Perfetto or "
+             "chrome://tracing)",
+    )
+    p.add_argument(
+        "--events-out", default=None, metavar="PATH",
+        help="also stream raw events as JSONL to PATH",
+    )
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="print the metrics-registry snapshot after the summary",
+    )
 
     # "lint" is dispatched before parsing (its arguments belong to the
     # simlint parser); registered here so it shows up in --help.
@@ -230,16 +282,86 @@ def _cmd_table2() -> str:
     )
 
 
-def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
+def _wants_telemetry(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "telemetry", False)
+                or getattr(args, "trace_out", None))
+
+
+def _make_runner(args: argparse.Namespace,
+                 profiler=None) -> ExperimentRunner:
     cache = ResultCache(enabled=not args.no_cache)
     return ExperimentRunner(
         cache=cache, workers=args.workers,
         run_timeout=getattr(args, "run_timeout", None),
         max_retries=getattr(args, "max_retries", 0),
+        profiler=profiler,
     )
 
 
+def _traced_simulation(model_name: str, benchmark: str, clusters: int,
+                       latency_scale: float, instructions: int,
+                       warmup: int, seed: int, fault_spec: str):
+    """One telemetry-enabled simulation; returns (run, telemetry)."""
+    from .core.simulation import simulate_benchmark
+    from .telemetry import RingBufferSink, Telemetry
+
+    telemetry = Telemetry(enabled=True,
+                          sink=RingBufferSink(capacity=None))
+    run = simulate_benchmark(
+        model(model_name).config, benchmark,
+        instructions=instructions, warmup=warmup,
+        num_clusters=clusters, seed=seed,
+        latency_scale=latency_scale,
+        fault_spec=fault_spec or None, telemetry=telemetry,
+    )
+    return run, telemetry
+
+
+def _cmd_trace(args: argparse.Namespace) -> str:
+    from .telemetry import (
+        JsonlSink,
+        render_summary,
+        summarize,
+        write_chrome_trace,
+    )
+
+    run, telemetry = _traced_simulation(
+        args.model, args.benchmark, args.clusters, args.latency_scale,
+        args.instructions, args.warmup, args.seed, args.fault_spec,
+    )
+    events = list(telemetry.events())
+    lines = [
+        f"traced model {args.model} / {args.benchmark}: "
+        f"{run.instructions} instructions, {run.cycles} cycles, "
+        f"IPC {run.ipc:.3f}",
+        "",
+        render_summary(summarize(events), cycles=run.cycles),
+    ]
+    if args.out:
+        metadata = {
+            "model": args.model,
+            "benchmark": args.benchmark,
+            "seed": args.seed,
+            "fault_spec": args.fault_spec,
+        }
+        write_chrome_trace(args.out, events, metadata=metadata)
+        lines.append("")
+        lines.append(f"chrome trace written to {args.out} "
+                     f"(load in Perfetto or chrome://tracing)")
+    if args.events_out:
+        with JsonlSink(args.events_out) as sink:
+            for event in events:
+                sink.emit(event)
+        lines.append(f"raw events written to {args.events_out} (JSONL)")
+    if args.metrics:
+        lines.append("")
+        lines.append(telemetry.metrics.render())
+    return "\n".join(lines)
+
+
 def _cmd_run(args: argparse.Namespace) -> str:
+    if _wants_telemetry(args):
+        return _cmd_run_traced(args)
     runner = _make_runner(args)
     plan = ExperimentPlan(
         model_name=args.model, benchmark=args.benchmark,
@@ -275,10 +397,41 @@ def _cmd_run(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
-def _cmd_faults(args: argparse.Namespace) -> str:
+def _cmd_run_traced(args: argparse.Namespace) -> str:
+    """``run --telemetry``: simulate live (uncached) with a tracer.
+
+    Telemetry never changes a reproduced number, so the printed IPC and
+    energy figures match the cached path for the same plan.
+    """
+    from .telemetry import render_summary, summarize, write_chrome_trace
+
+    run, telemetry = _traced_simulation(
+        args.model, args.benchmark, args.clusters, args.latency_scale,
+        args.instructions, args.warmup, args.seed, args.fault_spec,
+    )
+    lines = [
+        f"model {args.model} ({model(args.model).description}), "
+        f"{args.clusters} clusters, benchmark {args.benchmark}",
+        f"IPC {run.ipc:.3f}  ({run.instructions} instructions, "
+        f"{run.cycles} cycles)",
+        f"interconnect dynamic energy (rel units) "
+        f"{run.interconnect_dynamic:.0f}",
+        "",
+        render_summary(summarize(telemetry.events()), cycles=run.cycles),
+    ]
+    if args.trace_out:
+        write_chrome_trace(args.trace_out, telemetry.events(),
+                           metadata={"model": args.model,
+                                     "benchmark": args.benchmark})
+        lines.append("")
+        lines.append(f"chrome trace written to {args.trace_out}")
+    return "\n".join(lines)
+
+
+def _cmd_faults(args: argparse.Namespace,
+                runner: ExperimentRunner) -> str:
     from .harness.faultsweep import DEFAULT_SCENARIOS, FaultScenario
 
-    runner = _make_runner(args)
     scenarios = list(DEFAULT_SCENARIOS)
     if args.fault_spec:
         scenarios.append(FaultScenario(label="custom",
@@ -315,11 +468,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     if command == "run":
         print(_cmd_run(args))
         return 0
-    if command == "faults":
-        print(_cmd_faults(args))
+    if command == "trace":
+        print(_cmd_trace(args))
         return 0
 
-    runner = _make_runner(args)
+    # Sweep commands: --telemetry/--trace-out attach a wall-clock
+    # harness profiler (cache probes, runs, workers) to the runner.
+    profiler = None
+    if _wants_telemetry(args):
+        from .harness.profiling import HarnessProfiler
+
+        profiler = HarnessProfiler()
+    runner = _make_runner(args, profiler=profiler)
+
+    if command == "faults":
+        print(_cmd_faults(args, runner))
+        return _finish_profiled(args, profiler)
+
     kwargs = dict(benchmarks=args.benchmarks,
                   instructions=args.instructions, warmup=args.warmup)
     if command == "figure3":
@@ -332,6 +497,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_claims(run_claims(runner, **kwargs)))
     else:  # pragma: no cover - argparse guards this
         return 2
+    return _finish_profiled(args, profiler)
+
+
+def _finish_profiled(args: argparse.Namespace, profiler) -> int:
+    if profiler is not None:
+        print(profiler.summary())
+        trace_out = getattr(args, "trace_out", None)
+        if trace_out:
+            profiler.write(trace_out)
+            print(f"harness trace written to {trace_out} "
+                  f"(load in Perfetto or chrome://tracing)")
     return 0
 
 

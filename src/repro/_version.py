@@ -1,0 +1,41 @@
+"""Single source of the package version.
+
+Prefers installed-distribution metadata; falls back to parsing
+``pyproject.toml`` when running from a source checkout (the common case
+for this repository: ``PYTHONPATH=src python -m repro``).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+_FALLBACK = "0.0.0+unknown"
+
+
+def _from_metadata() -> str:
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - py<3.8
+        return ""
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return ""
+
+
+def _from_pyproject() -> str:
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        text = pyproject.read_text()
+    except OSError:
+        return ""
+    match = re.search(
+        r'^version\s*=\s*"([^"]+)"', text, flags=re.MULTILINE
+    )
+    return match.group(1) if match else ""
+
+
+def package_version() -> str:
+    """The repro package version string."""
+    return _from_metadata() or _from_pyproject() or _FALLBACK

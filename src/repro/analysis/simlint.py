@@ -19,6 +19,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from .._version import package_version
 from .baseline import Baseline, BaselineError
 from .engine import LintResult, find_root, lint_paths
 from .registry import all_rules, get_rule
@@ -32,6 +33,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="simulator-invariant static analysis "
                     "(determinism, cache-key completeness, exception "
                     "and model hygiene)",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"repro lint {package_version()}",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src", "tests"], metavar="PATH",

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..core.instruction import DynInstr
 from ..interconnect.topology import CACHE_NODE, Topology, cluster_node
+from ..telemetry import NULL_TELEMETRY, EventKind, Telemetry
 from .cluster import Cluster
 from .criticality import CriticalityPredictor
 
@@ -44,12 +45,15 @@ class SteeringHeuristic:
 
     def __init__(self, clusters: Sequence[Cluster], topology: Topology,
                  weights: SteeringWeights | None = None,
-                 criticality: CriticalityPredictor | None = None) -> None:
+                 criticality: CriticalityPredictor | None = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         if not clusters:
             raise ValueError("need at least one cluster")
         self.clusters = list(clusters)
         self.weights = weights or SteeringWeights()
         self.criticality = criticality or CriticalityPredictor()
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
         n = len(self.clusters)
         # Distance proxies from the topology: link-lengths spanned.
         self._cache_distance = [
@@ -87,14 +91,23 @@ class SteeringHeuristic:
         self._link_penalty = [0.0] * n
         self._any_degraded = False
 
-    def note_degraded_link(self, cluster_index: int) -> None:
+    def note_degraded_link(self, cluster_index: int,
+                           cycle: int = 0) -> None:
         """A wire plane on this cluster's link died: steer away from it."""
         if 0 <= cluster_index < len(self._link_penalty):
             self._link_penalty[cluster_index] += self.weights.degraded_link
             self._any_degraded = True
+            tel = self.telemetry
+            if tel.enabled:
+                tel.count("steering.degraded_penalties")
+                tel.emit(cycle, EventKind.STEERING_PENALTY, {
+                    "cluster": cluster_index,
+                    "penalty": self._link_penalty[cluster_index],
+                })
 
     def choose(self, instr: DynInstr,
-               producers: Sequence[Tuple[int, DynInstr]]) -> Optional[Cluster]:
+               producers: Sequence[Tuple[int, DynInstr]],
+               cycle: int = 0) -> Optional[Cluster]:
         """Pick a cluster for ``instr``; None when every cluster is full.
 
         ``producers`` are (source register, in-flight producer) pairs for
@@ -142,6 +155,15 @@ class SteeringHeuristic:
         fallback = self._nearest_with_room(best, op, has_dest)
         if fallback is not None:
             self.overflowed += 1
+            tel = self.telemetry
+            if tel.enabled:
+                # The heaviest cluster was full: the instruction spilled
+                # to the nearest cluster with room.
+                tel.count("steering.overflow")
+                tel.emit(cycle, EventKind.STEER_OVERFLOW, {
+                    "preferred": best,
+                    "fallback": fallback.index,
+                })
         return fallback
 
     def _argmax(self, scores: List[float], op) -> int:

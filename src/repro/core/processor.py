@@ -38,6 +38,7 @@ from ..memory.lsq import LoadStoreQueue
 from ..memory.pipeline import CachePipeline
 from ..operands.frequent import FrequentValueTable
 from ..operands.narrow import NarrowWidthPredictor
+from ..telemetry import NULL_TELEMETRY, EventKind, Telemetry
 from ..wires import WireClass
 from ..workloads.trace import (
     EXECUTION_LATENCY,
@@ -80,12 +81,16 @@ class ClusteredProcessor:
     def __init__(self, config: ProcessorConfig,
                  interconnect: InterconnectConfig,
                  supply, seed_tag: str = "",
-                 faults: Optional["FaultInjector"] = None) -> None:
+                 faults: Optional["FaultInjector"] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.config = config
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
         self.topology = config.build_topology()
         composition = interconnect.build_composition()
         self.network = Network(self.topology, composition,
-                               interconnect.flags, injector=faults)
+                               interconnect.flags, injector=faults,
+                               telemetry=self.telemetry)
         self.network.on_plane_kill = self._plane_killed
         self.clusters = [
             Cluster(i, cluster_node(i), config.issue_queue_size,
@@ -93,7 +98,8 @@ class ClusteredProcessor:
             for i in range(config.num_clusters)
         ]
         self.steering = SteeringHeuristic(
-            self.clusters, self.topology, SteeringWeights()
+            self.clusters, self.topology, SteeringWeights(),
+            telemetry=self.telemetry,
         )
         self.hierarchy = MemoryHierarchy(config.hierarchy)
         self.cache_pipeline = CachePipeline(self.hierarchy)
@@ -162,7 +168,7 @@ class ClusteredProcessor:
         """A wire plane died: bias steering away from the crippled link."""
         node = channel.split(":", 1)[0]
         if node.startswith("c") and node[1:].isdigit():
-            self.steering.note_degraded_link(int(node[1:]))
+            self.steering.note_degraded_link(int(node[1:]), cycle)
 
     # -- events ------------------------------------------------------------
 
@@ -241,7 +247,7 @@ class ClusteredProcessor:
                 self.stats.dispatch_stalls += 1
                 return
             producers = self._inflight_producers(instr.rec)
-            cluster = self.steering.choose(instr, producers)
+            cluster = self.steering.choose(instr, producers, cycle)
             if cluster is None:
                 self.stats.dispatch_stalls += 1
                 return
@@ -439,6 +445,11 @@ class ClusteredProcessor:
                          level: HitLevel) -> None:
         """LSQ callback: the load's value can leave the cache at ``cycle``."""
         self.stats.hit_levels[level] = self.stats.hit_levels.get(level, 0) + 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count(f"cache.{level.value}")
+            tel.emit(self.cycle, EventKind.CACHE_ACCESS,
+                     {"level": level.value, "seq": instr.seq})
         self._schedule(cycle, lambda i=instr: self._send_load_data(i))
 
     def _send_load_data(self, instr: DynInstr) -> None:

@@ -6,6 +6,7 @@ import os
 from typing import Iterable, Optional, Union
 
 from ..faults import FaultInjector, FaultSpec
+from ..telemetry import EventKind, Telemetry
 from ..workloads.generator import TraceGenerator
 from ..workloads.spec2k import BENCHMARK_NAMES, profile
 from .config import InterconnectConfig, ProcessorConfig
@@ -23,8 +24,9 @@ DEFAULT_SEED = 42
 FaultSpecLike = Union[str, FaultSpec, None]
 
 
-def _build_injector(fault_spec: FaultSpecLike,
-                    seed: int) -> Optional[FaultInjector]:
+def _build_injector(fault_spec: FaultSpecLike, seed: int,
+                    telemetry: Optional[Telemetry] = None
+                    ) -> Optional[FaultInjector]:
     """An injector for a spec (string or object), or None when null."""
     if fault_spec is None:
         return None
@@ -32,14 +34,15 @@ def _build_injector(fault_spec: FaultSpecLike,
             if isinstance(fault_spec, str) else fault_spec)
     if spec.is_null:
         return None
-    return FaultInjector(spec, seed=seed)
+    return FaultInjector(spec, seed=seed, telemetry=telemetry)
 
 
 def build_processor(interconnect: InterconnectConfig, benchmark: str,
                     num_clusters: int = 4, seed: int = DEFAULT_SEED,
                     latency_scale: float = 1.0,
                     config: Optional[ProcessorConfig] = None,
-                    fault_spec: FaultSpecLike = None
+                    fault_spec: FaultSpecLike = None,
+                    telemetry: Optional[Telemetry] = None
                     ) -> ClusteredProcessor:
     """A processor wired to one synthetic SPEC2k benchmark."""
     if config is None:
@@ -49,7 +52,8 @@ def build_processor(interconnect: InterconnectConfig, benchmark: str,
     generator = TraceGenerator(profile(benchmark), seed=seed)
     cpu = ClusteredProcessor(
         config, interconnect, generator.stream_forever(),
-        faults=_build_injector(fault_spec, seed),
+        faults=_build_injector(fault_spec, seed, telemetry),
+        telemetry=telemetry,
     )
     cpu.prewarm(generator.data_footprint())
     return cpu
@@ -61,17 +65,34 @@ def simulate_benchmark(interconnect: InterconnectConfig, benchmark: str,
                        num_clusters: int = 4, seed: int = DEFAULT_SEED,
                        latency_scale: float = 1.0,
                        config: Optional[ProcessorConfig] = None,
-                       fault_spec: FaultSpecLike = None
+                       fault_spec: FaultSpecLike = None,
+                       telemetry: Optional[Telemetry] = None
                        ) -> BenchmarkRun:
     """Run one benchmark under one interconnect; returns measured numbers.
 
     ``fault_spec`` (a :class:`FaultSpec` or its string form) injects
     wire-plane faults; the run is still fully deterministic for a fixed
     seed, and the degradation counters land in the run's extra stats.
+    ``telemetry`` observes the run (events + metrics) without changing
+    any reproduced number -- traced and untraced runs are bit-identical.
     """
     cpu = build_processor(interconnect, benchmark, num_clusters, seed,
-                          latency_scale, config, fault_spec=fault_spec)
+                          latency_scale, config, fault_spec=fault_spec,
+                          telemetry=telemetry)
+    if telemetry is not None and telemetry.enabled:
+        telemetry.emit(cpu.cycle, EventKind.RUN_START, {
+            "benchmark": benchmark,
+            "instructions": instructions,
+            "warmup": warmup,
+            "seed": seed,
+        })
     stats = cpu.run(instructions, warmup=warmup)
+    if telemetry is not None and telemetry.enabled:
+        telemetry.emit(cpu.cycle, EventKind.RUN_END, {
+            "benchmark": benchmark,
+            "committed": stats.committed,
+            "cycles": stats.cycles,
+        })
     degradation = cpu.network.degradation_report()
     return BenchmarkRun(
         benchmark=benchmark,
@@ -111,13 +132,15 @@ def simulate_model(model: InterconnectModel,
                    warmup: int = DEFAULT_WARMUP,
                    num_clusters: int = 4, seed: int = DEFAULT_SEED,
                    latency_scale: float = 1.0,
-                   fault_spec: FaultSpecLike = None) -> ModelResult:
+                   fault_spec: FaultSpecLike = None,
+                   telemetry: Optional[Telemetry] = None) -> ModelResult:
     """Run a whole benchmark suite under one interconnect model."""
     names = tuple(benchmarks) if benchmarks is not None else BENCHMARK_NAMES
     runs = tuple(
         simulate_benchmark(
             model.config, name, instructions, warmup,
             num_clusters, seed, latency_scale, fault_spec=fault_spec,
+            telemetry=telemetry,
         )
         for name in names
     )

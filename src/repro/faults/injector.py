@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import hashlib
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..interconnect.errors import ConfigError
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from ..wires import CANONICAL_SPECS, WireClass
 from .spec import FaultSpec
 
@@ -43,9 +44,12 @@ def _link_channels(link: str, channels: Sequence[str]) -> List[str]:
 class FaultInjector:
     """Applies one :class:`FaultSpec` deterministically under a seed."""
 
-    def __init__(self, spec: FaultSpec, seed: int = 0) -> None:
+    def __init__(self, spec: FaultSpec, seed: int = 0,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.spec = spec
         self.seed = seed
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
         self._derate: Dict[WireClass, float] = {
             wc: spec.derate_for(wc) for wc in WireClass
         }
@@ -112,8 +116,14 @@ class FaultInjector:
             return False
         exposure = bits * max(1, hops)
         probability = 1.0 - (1.0 - rate) ** exposure
-        return self._draw(wire_class.value, kind, seq, int(leading),
-                          attempt) < probability
+        corrupt = self._draw(wire_class.value, kind, seq, int(leading),
+                             attempt) < probability
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count("faults.draws")
+            if corrupt:
+                tel.count("faults.corruptions")
+        return corrupt
 
     def _draw(self, *key: object) -> float:
         digest = hashlib.blake2b(

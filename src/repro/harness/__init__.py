@@ -16,6 +16,7 @@ from .formatting import (
     shape_check,
 )
 from .paperdata import PAPER_CLAIMS, PAPER_TABLE3, PAPER_TABLE4
+from .profiling import NULL_PROFILER, HarnessProfiler
 from .runner import (
     CACHE_VERSION,
     ExperimentPlan,
@@ -30,6 +31,8 @@ from .table3 import TableResult, render_table3, run_table3, shape_summary
 from .table4 import render_table4, run_table4
 
 __all__ = [
+    "NULL_PROFILER",
+    "HarnessProfiler",
     "CACHE_VERSION",
     "ExperimentPlan",
     "ExperimentRunner",

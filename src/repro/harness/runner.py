@@ -62,6 +62,7 @@ from ..core.simulation import (
 )
 from ..interconnect.selection import PolicyFlags
 from ..workloads.spec2k import BENCHMARK_NAMES
+from .profiling import NULL_PROFILER, HarnessProfiler
 
 #: Bump when simulator changes invalidate cached results.
 CACHE_VERSION = 5
@@ -137,7 +138,9 @@ class ResultCache:
     """
 
     def __init__(self, directory: Optional[Path] = None,
-                 enabled: Optional[bool] = None) -> None:
+                 enabled: Optional[bool] = None,
+                 profiler: Optional[HarnessProfiler] = None) -> None:
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         if directory is None:
             directory = Path(
                 os.environ.get("REPRO_CACHE_DIR",
@@ -198,6 +201,18 @@ class ResultCache:
     def load(self, plan: ExperimentPlan) -> Optional[BenchmarkRun]:
         if not self.enabled:
             return None
+        prof = self.profiler
+        start = prof.now() if prof.enabled else 0.0
+        run = self._load(plan)
+        if prof.enabled:
+            prof.complete("cache.load", start, prof.now() - start,
+                          category="cache", plan=plan.describe(),
+                          hit=run is not None)
+            prof.instant("cache.hit" if run is not None else "cache.miss",
+                         category="cache", plan=plan.describe())
+        return run
+
+    def _load(self, plan: ExperimentPlan) -> Optional[BenchmarkRun]:
         path = self._path(plan)
         try:
             text = path.read_text()
@@ -223,6 +238,15 @@ class ResultCache:
               duration: Optional[float] = None) -> None:
         if not self.enabled:
             return
+        prof = self.profiler
+        start = prof.now() if prof.enabled else 0.0
+        self._store(plan, run, duration)
+        if prof.enabled:
+            prof.complete("cache.store", start, prof.now() - start,
+                          category="cache", plan=plan.describe())
+
+    def _store(self, plan: ExperimentPlan, run: BenchmarkRun,
+               duration: Optional[float]) -> None:
         self.directory.mkdir(parents=True, exist_ok=True)
         payload = {
             "benchmark": run.benchmark,
@@ -386,14 +410,19 @@ class ExperimentRunner:
                  verbose: bool = True, workers: int = 1,
                  run_timeout: Optional[float] = None,
                  max_retries: int = 0,
-                 retry_backoff: float = 0.25) -> None:
+                 retry_backoff: float = 0.25,
+                 profiler: Optional[HarnessProfiler] = None) -> None:
         if run_timeout is not None and run_timeout <= 0:
             raise ValueError("run_timeout must be positive seconds")
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
         if retry_backoff < 0:
             raise ValueError("retry_backoff must be non-negative")
-        self.cache = cache or ResultCache()
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self.cache = cache or ResultCache(profiler=self.profiler)
+        if profiler is not None and self.cache.profiler is NULL_PROFILER:
+            # An explicitly supplied cache joins the runner's timeline.
+            self.cache.profiler = profiler
         self.verbose = verbose
         self.workers = max(1, workers)
         self.run_timeout = run_timeout
@@ -424,7 +453,9 @@ class ExperimentRunner:
             print(f"  running {plan.model_name:>4s}/{plan.benchmark:<8s} "
                   f"({plan.num_clusters}cl, x{plan.latency_scale:g})",
                   flush=True)
-        run, duration = _execute_plan(plan, interconnect_model)
+        with self.profiler.span("run.execute", category="run",
+                                plan=plan.describe()):
+            run, duration = _execute_plan(plan, interconnect_model)
         self._record(plan, run, duration)
         return run
 
@@ -474,6 +505,8 @@ class ExperimentRunner:
                        else run_timeout)
         max_retries = (self.max_retries if max_retries is None
                        else max_retries)
+        prof = self.profiler
+        sweep_start = prof.now() if prof.enabled else 0.0
         unique: List[ExperimentPlan] = list(dict.fromkeys(plans))
         results: Dict[ExperimentPlan, BenchmarkRun] = {}
         misses: List[ExperimentPlan] = []
@@ -504,8 +537,10 @@ class ExperimentRunner:
                 outcomes = {}
                 for plan in misses:
                     try:
-                        outcomes[plan] = _execute_plan(
-                            plan, models.get(plan) if models else None)
+                        with prof.span("run.execute", category="run",
+                                       plan=plan.describe()):
+                            outcomes[plan] = _execute_plan(
+                                plan, models.get(plan) if models else None)
                     # Crash-isolation boundary (serial path): mirror
                     # the worker-pool contract -- an erroring plan
                     # becomes a RunFailure in the sweep manifest, it
@@ -540,6 +575,12 @@ class ExperimentRunner:
             results=results, failures=tuple(failures),
             summary=self.last_summary,
         )
+        if prof.enabled:
+            prof.complete("sweep", sweep_start, prof.now() - sweep_start,
+                          category="sweep", requested=len(plans),
+                          executed=executed,
+                          cache_hits=len(unique) - len(misses),
+                          failed=len(failures))
         if self.verbose:
             print(f"  {self.last_summary.render()}", flush=True)
         return self.last_report
@@ -561,10 +602,24 @@ class ExperimentRunner:
         times.  Returns plan -> (run, duration) | RunFailure.
         """
         ctx = multiprocessing.get_context()
+        prof = self.profiler
         outcomes: Dict[ExperimentPlan, object] = {}
         # (plan, attempt, not-before-monotonic-time)
         ready = deque((plan, 0, 0.0) for plan in misses)
         active: Dict[ExperimentPlan, tuple] = {}
+        # Launch timestamps on the profiler clock, for worker spans.
+        launched_at: Dict[ExperimentPlan, float] = {}
+
+        def close_span(plan, attempt, outcome):
+            if not prof.enabled:
+                return
+            start = launched_at.pop(plan, None)
+            if start is None:
+                return
+            prof.complete(f"worker:{plan.model_name}/{plan.benchmark}",
+                          start, prof.now() - start, category="worker",
+                          plan=plan.describe(), attempt=attempt + 1,
+                          outcome=outcome)
 
         def finish(plan, attempt, reason, detail):
             if reason in ("timeout", "crash") and attempt < max_retries:
@@ -597,6 +652,8 @@ class ExperimentRunner:
                 )
                 proc.start()
                 send.close()
+                if prof.enabled:
+                    launched_at[plan] = prof.now()
                 active[plan] = (proc, recv, time.monotonic(), attempt)
 
             progressed = False
@@ -611,12 +668,15 @@ class ExperimentRunner:
                     del active[plan]
                     progressed = True
                     if message is None:
+                        close_span(plan, attempt, "crash")
                         finish(plan, attempt, "crash",
                                f"worker pipe closed without a result "
                                f"(exit code {proc.exitcode})")
                     elif message[0] == "ok":
+                        close_span(plan, attempt, "ok")
                         outcomes[plan] = (message[1], message[2])
                     else:
+                        close_span(plan, attempt, "error")
                         finish(plan, attempt, "error",
                                f"{message[1]}: {message[2]}")
                 elif not proc.is_alive():
@@ -624,6 +684,7 @@ class ExperimentRunner:
                     recv.close()
                     del active[plan]
                     progressed = True
+                    close_span(plan, attempt, "crash")
                     finish(plan, attempt, "crash",
                            f"worker exited with code {proc.exitcode} "
                            f"before reporting a result")
@@ -634,6 +695,7 @@ class ExperimentRunner:
                     recv.close()
                     del active[plan]
                     progressed = True
+                    close_span(plan, attempt, "timeout")
                     finish(plan, attempt, "timeout",
                            f"exceeded run timeout of {run_timeout:g}s")
             if not progressed and (active or ready):

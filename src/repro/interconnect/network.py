@@ -39,6 +39,7 @@ import heapq
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
+from ..telemetry import NULL_TELEMETRY, EventKind, Telemetry
 from ..wires import WireClass
 from .errors import ConfigError, UnroutableError
 from .message import Transfer
@@ -99,12 +100,21 @@ class DegradationReport:
 class Network:
     """Cycle-driven heterogeneous inter-cluster network."""
 
+    #: Fixed histogram buckets: segment payload sizes (bits) and cycles
+    #: a segment waited between eligibility and its grant.
+    SEGMENT_BITS_BUCKETS = (18, 54, 72, 144, 288)
+    GRANT_WAIT_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64)
+
     def __init__(self, topology: Topology, composition: LinkComposition,
                  flags: Optional[PolicyFlags] = None,
-                 injector: Optional["FaultInjector"] = None) -> None:
+                 injector: Optional["FaultInjector"] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.topology = topology
         self.composition = composition
-        self.selector = WireSelector(composition, flags)
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
+        self.selector = WireSelector(composition, flags,
+                                     telemetry=self.telemetry)
         self.stats = InterconnectStats()
         self.injector = injector
         # Per (out-channel, plane) FIFO queues; only non-empty ones are in
@@ -172,6 +182,17 @@ class Network:
                     f"({self.composition.describe()}) has no such plane"
                 )
             self.selector.record_injection(cycle, wire_class)
+            tel = self.telemetry
+            if tel.enabled:
+                tel.count("network.segments_routed")
+                tel.emit(cycle, EventKind.TRANSFER_ROUTED, {
+                    "kind": transfer.kind.value,
+                    "plane": wire_class.value,
+                    "bits": segment.bits,
+                    "src": transfer.src,
+                    "dst": transfer.dst,
+                    "channel": path.channels[0],
+                })
             key = (path.channels[0], wire_class)
             queued = _Queued(
                 transfer=transfer,
@@ -222,6 +243,13 @@ class Network:
         if key in self._dead:
             return
         self._dead[key] = cycle
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count("faults.plane_kills")
+            tel.emit(cycle, EventKind.PLANE_KILL, {
+                "channel": channel,
+                "plane": plane.value,
+            })
         if self.on_plane_kill is not None:
             self.on_plane_kill(channel, plane, cycle)
 
@@ -243,6 +271,15 @@ class Network:
         """Move a stranded segment onto a surviving plane."""
         avoid = self._dead_planes_on(item.path_channels)
         wire_class = self._surviving_plane(item, avoid)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count("faults.reroutes")
+            tel.emit(cycle, EventKind.REROUTE, {
+                "channel": item.path_channels[0],
+                "from": item.segment.wire_class.value,
+                "to": wire_class.value,
+                "bits": item.segment.bits,
+            })
         item.segment = replace(item.segment, wire_class=wire_class)
         item.latency = self._plane_latency(item.transfer, item.latencies,
                                            wire_class)
@@ -282,16 +319,31 @@ class Network:
         while retries and retries[0][0] <= cycle:
             _, _, item = heapq.heappop(retries)
             plane = item.segment.wire_class
+            tel = self.telemetry
             if item.attempt >= self._retry_budget:
                 # Persistent corruption: treat the source link's plane
                 # as broken and fall back to the surviving planes.
                 stats.retry_escalations += 1
+                if tel.enabled:
+                    tel.count("faults.retry_escalations")
+                    tel.emit(cycle, EventKind.RETRY_ESCALATION, {
+                        "channel": item.path_channels[0],
+                        "plane": plane.value,
+                        "attempts": item.attempt,
+                    })
                 self._kill(item.path_channels[0], plane, cycle)
                 self._reroute(item, cycle)
                 continue
             item.attempt += 1
             item.earliest_cycle = cycle
             stats.retransmissions += 1
+            if tel.enabled:
+                tel.count("faults.retransmissions")
+                tel.emit(cycle, EventKind.NACK_RETRY, {
+                    "channel": item.path_channels[0],
+                    "plane": plane.value,
+                    "attempt": item.attempt,
+                })
             key = (item.path_channels[0], plane)
             self._channel_retx[key] = self._channel_retx.get(key, 0) + 1
             self._enqueue(key, item)
@@ -361,6 +413,13 @@ class Network:
         self.stats.record_segment(
             plane, bits, item.energy_weight, item.transfer.kind
         )
+        tel = self.telemetry
+        if tel.enabled:
+            tel.observe("network.segment_bits", bits,
+                        self.SEGMENT_BITS_BUCKETS)
+            tel.observe("network.grant_wait_cycles",
+                        max(0, cycle - item.earliest_cycle),
+                        self.GRANT_WAIT_BUCKETS)
         if self._ber_active and self.injector.corrupts(
                 plane, item.transfer.kind.value, item.transfer.seq,
                 bits, len(item.path_channels), item.attempt,
@@ -369,6 +428,14 @@ class Network:
             # the receiver NACKs and the source retransmits after a
             # round trip.  No arrival callbacks fire for this attempt.
             self.stats.corrupted_segments += 1
+            if tel.enabled:
+                tel.count("faults.corrupted_segments")
+                tel.emit(cycle, EventKind.CORRUPTION, {
+                    "kind": item.transfer.kind.value,
+                    "plane": plane.value,
+                    "seq": item.transfer.seq,
+                    "attempt": item.attempt,
+                })
             self._retry_seq += 1
             heapq.heappush(
                 self._retries,

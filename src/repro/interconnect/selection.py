@@ -23,6 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import FrozenSet, List
 
+from typing import Optional
+
+from ..telemetry import NULL_TELEMETRY, EventKind, Telemetry
 from ..wires import WireClass
 from .errors import UnroutableError
 from .loadbalance import ImbalanceDetector
@@ -86,9 +89,14 @@ class WireSelector:
     NARROW_MISPREDICT_PENALTY = 1
 
     def __init__(self, composition: LinkComposition,
-                 flags: PolicyFlags | None = None) -> None:
+                 flags: PolicyFlags | None = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.composition = composition
         self.flags = flags or PolicyFlags()
+        # Zero-cost-when-disabled: hot paths check one bool before
+        # building any event attributes.
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
         self._has_l = composition.has_plane(WireClass.L)
         self._has_pw = composition.has_plane(WireClass.PW)
         self._has_b = composition.has_plane(WireClass.B)
@@ -130,6 +138,23 @@ class WireSelector:
         :meth:`PolicyFlags.without_lwire_uses` fallback, losing a bulk
         plane re-targets bulk traffic.
         """
+        reason, segments = self._plan(transfer, cycle, avoid)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count(f"selection.{reason}")
+            tel.emit(cycle, EventKind.WIRE_SELECTED, {
+                "kind": transfer.kind.value,
+                "reason": reason,
+                "plane": segments[-1].wire_class.value,
+                "split": len(segments) > 1,
+                "degraded": bool(avoid),
+            })
+        return segments
+
+    def _plan(self, transfer: Transfer, cycle: int,
+              avoid: FrozenSet[WireClass]
+              ) -> tuple:
+        """(decision reason, planned segments) -- the policy proper."""
         kind = transfer.kind
         flags = self.flags
         has_l = self._has_l
@@ -149,53 +174,60 @@ class WireSelector:
 
         if kind is TransferKind.MISPREDICT:
             if flags.lwire_mispredict and has_l:
-                return [PlannedSegment(WireClass.L, MISPREDICT_BITS)]
-            return [self._bulk_segment(MISPREDICT_BITS, transfer, cycle,
-                                       avoid)]
+                return ("mispredict_lwire",
+                        [PlannedSegment(WireClass.L, MISPREDICT_BITS)])
+            return ("mispredict_bulk",
+                    [self._bulk_segment(MISPREDICT_BITS, transfer, cycle,
+                                        avoid)])
 
         if kind.is_address and flags.lwire_partial_address and has_l:
             bulk = self._bulk_choice(transfer, cycle, avoid)
-            return [
+            return ("partial_address", [
                 PlannedSegment(WireClass.L, PARTIAL_ADDRESS_BITS,
                                is_leading_slice=True, is_final_slice=False),
                 PlannedSegment(bulk, MS_ADDRESS_BITS),
-            ]
+            ])
 
         if (kind in (TransferKind.OPERAND, TransferKind.LOAD_DATA)
                 and flags.lwire_narrow and has_l
                 and transfer.narrow_predicted):
             self.narrow_transfers += 1
             if transfer.narrow_actual:
-                return [PlannedSegment(WireClass.L, LWIRE_BITS)]
+                return ("narrow_lwire",
+                        [PlannedSegment(WireClass.L, LWIRE_BITS)])
             # Width mispredicted: the tag went out on L-Wires but the value
             # does not fit; reissue full width after a detection cycle.
             self.narrow_mispredicts += 1
             bulk = self._bulk_choice(transfer, cycle, avoid)
-            return [
+            return ("narrow_mispredict", [
                 PlannedSegment(WireClass.L, LWIRE_BITS,
                                is_leading_slice=True, is_final_slice=False),
                 PlannedSegment(bulk, transfer.bits,
                                submit_delay=self.NARROW_MISPREDICT_PENALTY),
-            ]
+            ])
 
         if (kind in (TransferKind.OPERAND, TransferKind.LOAD_DATA)
                 and flags.lwire_frequent_value and has_l
                 and transfer.fv_encodable):
             # Frequent-value index + tag fits the L-Wire plane.
             self.fv_transfers += 1
-            return [PlannedSegment(WireClass.L, LWIRE_BITS)]
+            return ("frequent_value",
+                    [PlannedSegment(WireClass.L, LWIRE_BITS)])
 
         if (kind is TransferKind.OPERAND and transfer.ready_at_dispatch
                 and flags.pw_ready_operand and has_pw):
             self.pw_ready_transfers += 1
-            return [PlannedSegment(WireClass.PW, transfer.bits)]
+            return ("pw_ready",
+                    [PlannedSegment(WireClass.PW, transfer.bits)])
 
         if (kind is TransferKind.STORE_DATA and flags.pw_store_data
                 and has_pw):
             self.pw_store_transfers += 1
-            return [PlannedSegment(WireClass.PW, transfer.bits)]
+            return ("pw_store",
+                    [PlannedSegment(WireClass.PW, transfer.bits)])
 
-        return [self._bulk_segment(transfer.bits, transfer, cycle, avoid)]
+        return ("bulk",
+                [self._bulk_segment(transfer.bits, transfer, cycle, avoid)])
 
     # -- helpers ---------------------------------------------------------
 
@@ -224,6 +256,16 @@ class WireSelector:
             if diverted is not None:
                 if diverted is not self._bulk:
                     self.pw_diverted_transfers += 1
+                    tel = self.telemetry
+                    if tel.enabled:
+                        # The paper's overflow criterion fired: recent
+                        # traffic imbalance steered bulk traffic onto
+                        # the less congested plane.
+                        tel.count("selection.lb_divert")
+                        tel.emit(cycle, EventKind.LB_DIVERT, {
+                            "from": self._bulk.value,
+                            "to": diverted.value,
+                        })
                 return diverted
         return self.bulk_for(avoid)
 

@@ -46,6 +46,11 @@ class InterconnectStats:
 
     def record_segment(self, wire_class: WireClass, bits: int,
                        energy_weight: int, kind: TransferKind) -> None:
+        if bits < 0:
+            raise ValueError(
+                f"cannot record a segment of {bits} bits on "
+                f"{wire_class.value}-Wires; bit counts are non-negative"
+            )
         activity = self.by_plane.get(wire_class)
         if activity is None:
             activity = self.by_plane.setdefault(wire_class, PlaneActivity())

@@ -1,0 +1,83 @@
+"""The :class:`Telemetry` handle every instrumented component holds.
+
+Design rule (the "zero-cost-when-disabled" contract): instrumented hot
+paths hold a handle -- never ``None`` -- and guard every emission with
+``if tel.enabled:`` *before* building attribute dicts, so a disabled
+handle costs one attribute load and one branch per site.  The module
+singleton :data:`NULL_TELEMETRY` is the default handle: permanently
+disabled, null sink, its own (never-read) registry.
+
+The handle deliberately has no notion of time: callers stamp events
+with their own cycle counter, keeping the subsystem wall-clock-free in
+simulator scope (SIM102 enforces this; harness wall-clock profiling
+lives in :mod:`repro.harness.profiling`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Tuple
+
+from .events import EventKind, TraceEvent, make_event
+from .metrics import MetricsRegistry
+from .sinks import EventSink, NullSink, RingBufferSink
+
+
+class Telemetry:
+    """Bundles an event sink and a metrics registry behind one flag."""
+
+    __slots__ = ("enabled", "sink", "metrics")
+
+    def __init__(self, sink: Optional[EventSink] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 enabled: bool = True) -> None:
+        self.sink = sink if sink is not None else RingBufferSink()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.enabled = enabled
+
+    @staticmethod
+    def null() -> "Telemetry":
+        """The shared disabled handle (identity-comparable)."""
+        return NULL_TELEMETRY
+
+    # -- emission --------------------------------------------------------
+
+    def emit(self, cycle: int, kind: EventKind,
+             attrs: Optional[Mapping[str, object]] = None) -> None:
+        """Emit one cycle-stamped event (no-op when disabled)."""
+        if self.enabled:
+            self.sink.emit(make_event(cycle, kind, attrs))
+
+    def count(self, name: str, amount: int = 1) -> None:
+        if self.enabled:
+            self.metrics.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float,
+                bounds: Optional[Sequence[float]] = None) -> None:
+        if self.enabled:
+            self.metrics.histogram(name, bounds).observe(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.metrics.gauge(name).set(value)
+
+    # -- introspection ---------------------------------------------------
+
+    def events(self) -> Tuple[TraceEvent, ...]:
+        """Buffered events, when the sink keeps any (else empty)."""
+        events = getattr(self.sink, "events", None)
+        if callable(events):
+            return events()
+        return ()
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+def _make_null() -> Telemetry:
+    return Telemetry(sink=NullSink(), metrics=MetricsRegistry(),
+                     enabled=False)
+
+
+#: Shared always-off handle; instrumented code defaults to this so the
+#: hot path never needs a None check.
+NULL_TELEMETRY: Telemetry = _make_null()

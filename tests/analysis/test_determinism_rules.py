@@ -84,6 +84,28 @@ class TestSIM102WallClock:
             """}, select={"SIM102"})
         assert result.findings == []
 
+    def test_telemetry_package_is_not_exempt(self, lint_tree):
+        """Cycle-stamped tracing must stay wall-clock-free: the telemetry
+        package is simulator code, not harness code, under SIM102."""
+        result = lint_tree({"src/repro/telemetry/x.py": """\
+            import time
+
+            def stamp():
+                return time.time()
+            """}, select={"SIM102"})
+        assert [f.code for f in result.findings] == ["SIM102"]
+
+    def test_harness_profiling_is_exempt(self, lint_tree):
+        """The wall-clock profiler lives in the harness for exactly this
+        reason."""
+        result = lint_tree({"src/repro/harness/profiling.py": """\
+            import time
+
+            def now():
+                return time.perf_counter()
+            """}, select={"SIM102"})
+        assert result.findings == []
+
 
 class TestSIM103SetIteration:
     def test_flags_loop_over_set_call(self, lint_tree):

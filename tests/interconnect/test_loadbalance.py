@@ -4,6 +4,10 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.interconnect.loadbalance import ImbalanceDetector, TrafficWindow
+from repro.interconnect.message import Transfer, TransferKind
+from repro.interconnect.plane import LinkComposition
+from repro.interconnect.selection import PolicyFlags, WireSelector
+from repro.telemetry import EventKind, RingBufferSink, Telemetry
 from repro.wires import WireClass
 
 
@@ -169,3 +173,74 @@ class TestWindowEdgeCases:
         w.record(7, WireClass.B)
         assert w.count(9, WireClass.B) == 1   # age 2 < 3
         assert w.count(10, WireClass.B) == 0  # age 3 == window: expired
+
+
+class TestTracerOverflowEvents:
+    """The same edge cases observed from the outside, through the
+    tracer's LB_DIVERT overflow events rather than the detector's
+    return value."""
+
+    def _selector(self, telemetry, window=5, threshold=10):
+        return WireSelector(
+            LinkComposition({WireClass.B: 144, WireClass.PW: 288}),
+            PolicyFlags(load_balance_window=window,
+                        load_balance_threshold=threshold),
+            telemetry=telemetry,
+        )
+
+    @staticmethod
+    def _bulk_transfer():
+        # A plain operand (not ready at dispatch, not narrow) takes the
+        # bulk path and therefore runs the load-balance rule.
+        return Transfer(kind=TransferKind.OPERAND, src="c0", dst="c1")
+
+    def _diverts(self, telemetry):
+        return [e for e in telemetry.events()
+                if e.kind is EventKind.LB_DIVERT]
+
+    def test_threshold_exactly_met_emits_no_overflow(self):
+        tel = Telemetry(sink=RingBufferSink())
+        sel = self._selector(tel)
+        for _ in range(10):
+            sel.record_injection(0, WireClass.B)
+        segs = sel.select(self._bulk_transfer(), cycle=0)
+        assert segs[0].wire_class is WireClass.B
+        assert self._diverts(tel) == []
+        assert "selection.lb_divert" not in tel.metrics.snapshot()
+
+    def test_one_past_threshold_emits_overflow(self):
+        tel = Telemetry(sink=RingBufferSink())
+        sel = self._selector(tel)
+        for _ in range(11):
+            sel.record_injection(0, WireClass.B)
+        segs = sel.select(self._bulk_transfer(), cycle=0)
+        assert segs[0].wire_class is WireClass.PW
+        (event,) = self._diverts(tel)
+        assert event.cycle == 0
+        assert event.attr("from") == "B"
+        assert event.attr("to") == "PW"
+        assert tel.metrics.snapshot()["selection.lb_divert"] == 1
+
+    def test_window_shorter_than_history_stops_overflowing(self):
+        """Injections older than the window age out: the same selector
+        that overflowed at cycle 0 is quiet again 20 cycles later."""
+        tel = Telemetry(sink=RingBufferSink())
+        sel = self._selector(tel)
+        for _ in range(12):
+            sel.record_injection(0, WireClass.B)
+        sel.select(self._bulk_transfer(), cycle=0)
+        assert len(self._diverts(tel)) == 1
+        sel.select(self._bulk_transfer(), cycle=20)
+        assert len(self._diverts(tel)) == 1  # no new overflow event
+        assert tel.metrics.snapshot()["selection.lb_divert"] == 1
+
+    def test_divert_back_toward_bulk_is_not_an_overflow(self):
+        """Traffic piled on the PW plane redirects *to* the bulk plane;
+        that is the default target, not an overflow, so no event."""
+        tel = Telemetry(sink=RingBufferSink())
+        sel = self._selector(tel)
+        for _ in range(11):
+            sel.record_injection(0, WireClass.PW)
+        segs = sel.select(self._bulk_transfer(), cycle=0)
+        assert segs[0].wire_class is WireClass.B
+        assert self._diverts(tel) == []

@@ -30,6 +30,20 @@ class TestRecording:
         assert stats.by_kind[TransferKind.MISPREDICT] == 2
         assert stats.by_kind[TransferKind.OPERAND] == 1
 
+    def test_rejects_negative_bits(self):
+        """Regression: a negative bit count must fail loudly instead of
+        silently reducing the energy accumulators."""
+        stats = InterconnectStats()
+        with pytest.raises(ValueError, match="non-negative"):
+            stats.record_segment(WireClass.B, -1, 1, TransferKind.OPERAND)
+        assert stats.total_transfers() == 0
+
+    def test_zero_bits_is_allowed(self):
+        stats = InterconnectStats()
+        stats.record_segment(WireClass.B, 0, 1, TransferKind.OPERAND)
+        assert stats.by_plane[WireClass.B].transfers == 1
+        assert stats.by_plane[WireClass.B].bits == 0
+
     def test_total_transfers(self):
         stats = InterconnectStats()
         assert stats.total_transfers() == 0

@@ -1,0 +1,68 @@
+"""Trace-event model: kinds, categories, attribute handling."""
+
+import pytest
+
+from repro.telemetry import (
+    ALL_CATEGORIES,
+    EVENT_CATEGORY,
+    EventKind,
+    TraceEvent,
+    make_event,
+)
+
+
+class TestEventKinds:
+    def test_every_kind_has_a_category(self):
+        assert set(EVENT_CATEGORY) == set(EventKind)
+
+    def test_acceptance_categories_exist(self):
+        """The categories the CI trace check requires are all mapped."""
+        for category in ("wire-selection", "overflow", "fault", "cache"):
+            assert category in ALL_CATEGORIES
+
+    def test_overflow_covers_both_divert_and_spill(self):
+        assert EVENT_CATEGORY[EventKind.LB_DIVERT] == "overflow"
+        assert EVENT_CATEGORY[EventKind.STEER_OVERFLOW] == "overflow"
+
+    def test_values_are_stable_snake_case(self):
+        for kind in EventKind:
+            assert kind.value == kind.value.lower()
+            assert " " not in kind.value
+
+
+class TestTraceEvent:
+    def test_attrs_sorted_and_readable(self):
+        event = make_event(7, EventKind.WIRE_SELECTED,
+                           {"reason": "bulk", "kind": "operand"})
+        assert event.cycle == 7
+        assert event.attrs == (("kind", "operand"), ("reason", "bulk"))
+        assert event.attr("reason") == "bulk"
+        assert event.attr("missing", "fallback") == "fallback"
+
+    def test_no_attrs(self):
+        event = make_event(0, EventKind.RUN_END)
+        assert event.attrs == ()
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            make_event(-1, EventKind.RUN_START)
+
+    def test_category_property(self):
+        assert make_event(1, EventKind.PLANE_KILL).category == "fault"
+        assert make_event(1, EventKind.CACHE_ACCESS).category == "cache"
+
+    def test_to_json_round_trippable(self):
+        event = make_event(12, EventKind.LB_DIVERT,
+                           {"from": "B", "to": "PW"})
+        data = event.to_json()
+        assert data == {
+            "cycle": 12,
+            "kind": "lb_divert",
+            "category": "overflow",
+            "attrs": {"from": "B", "to": "PW"},
+        }
+
+    def test_frozen(self):
+        event = make_event(1, EventKind.RUN_START)
+        with pytest.raises(AttributeError):
+            event.cycle = 2

@@ -1,0 +1,79 @@
+"""Sinks: ring buffer bounds/drop accounting, JSONL streaming."""
+
+import pytest
+
+from repro.telemetry import (
+    EventKind,
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+    make_event,
+    read_jsonl_events,
+)
+
+
+def _events(n, kind=EventKind.WIRE_SELECTED):
+    return [make_event(i, kind, {"i": i}) for i in range(n)]
+
+
+class TestRingBufferSink:
+    def test_keeps_most_recent_when_bounded(self):
+        sink = RingBufferSink(capacity=3)
+        for event in _events(5):
+            sink.emit(event)
+        kept = sink.events()
+        assert [e.cycle for e in kept] == [2, 3, 4]
+        assert sink.dropped == 2
+        assert sink.emitted == 5
+
+    def test_unbounded(self):
+        sink = RingBufferSink(capacity=None)
+        for event in _events(100):
+            sink.emit(event)
+        assert len(sink.events()) == 100
+        assert sink.dropped == 0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+    def test_clear(self):
+        sink = RingBufferSink()
+        sink.emit(make_event(1, EventKind.RUN_START))
+        sink.clear()
+        assert sink.events() == ()
+        assert sink.emitted == 0
+
+
+class TestJsonlSink:
+    def test_round_trip_via_path(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path) as sink:
+            for event in _events(4, EventKind.TRANSFER_ROUTED):
+                sink.emit(event)
+        rows = read_jsonl_events(path)
+        assert len(rows) == 4
+        assert rows[0]["kind"] == "transfer_routed"
+        assert [r["cycle"] for r in rows] == [0, 1, 2, 3]
+
+    def test_caller_owned_handle_left_open(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        with path.open("w") as handle:
+            sink = JsonlSink(handle)
+            sink.emit(make_event(9, EventKind.PLANE_KILL))
+            sink.close()  # must not close the caller's handle
+            assert not handle.closed
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "x.jsonl")
+        sink.emit(make_event(1, EventKind.RUN_START))
+        sink.close()
+        with pytest.raises(ValueError):
+            sink.emit(make_event(2, EventKind.RUN_END))
+
+
+class TestNullSink:
+    def test_swallows_everything(self):
+        sink = NullSink()
+        sink.emit(make_event(1, EventKind.RUN_START))
+        sink.close()  # idempotent no-op
