@@ -1,0 +1,179 @@
+"""Engine perf benchmark: the event engine vs the scalar reference.
+
+Measures a Table-3-style sweep (every interconnect model x a benchmark
+subset) on both engines and reports the speedup ratio.  The ratio is
+the committed number -- wall-clock seconds vary per machine, but both
+engines run on the *same* machine in the same process, so their ratio
+is stable enough to gate on (BENCH_perf.json, +/-20%).
+
+Every differential pair is also checked for BenchmarkRun equality, so
+the perf gate can never pass on an engine that drifted semantically.
+
+Usage:
+    python benchmarks/bench_perf.py              # measure and report
+    python benchmarks/bench_perf.py --check      # gate vs BENCH_perf.json
+    python benchmarks/bench_perf.py --update     # append to trajectory
+    python benchmarks/bench_perf.py --profile p.prof   # event-engine profile
+
+Runs standalone (PYTHONPATH=src) -- not a pytest-benchmark suite, so CI
+can gate on its exit status without the tier-1 plugins.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.models import MODEL_NAMES, model  # noqa: E402
+from repro.core.simulation import simulate_benchmark  # noqa: E402
+
+BASELINE_PATH = REPO_ROOT / "BENCH_perf.json"
+
+#: The measured workload: all ten models over a small, cache-behaviour-
+#: diverse benchmark subset.  Scaled so the full two-engine measurement
+#: stays under a minute on a laptop-class core.
+WORKLOAD = {
+    "models": list(MODEL_NAMES),
+    "benchmarks": ["gzip", "art", "mcf"],
+    "instructions": 2000,
+    "warmup": 500,
+    "seed": 42,
+    "rounds": 2,
+}
+
+TOLERANCE = 0.20
+
+
+def run_sweep(engine: str) -> list:
+    runs = []
+    for name in WORKLOAD["models"]:
+        config = model(name).config
+        for bench in WORKLOAD["benchmarks"]:
+            runs.append(simulate_benchmark(
+                config, bench,
+                instructions=WORKLOAD["instructions"],
+                warmup=WORKLOAD["warmup"],
+                seed=WORKLOAD["seed"],
+                engine=engine,
+            ))
+    return runs
+
+
+def measure() -> dict:
+    """Best-of-N sweep seconds per engine, plus the equality check."""
+    timings = {}
+    results = {}
+    # Event first so its one-time per-benchmark annotation cost is paid
+    # outside the best-of-N window, mirroring sweep steady state.
+    for engine in ("event", "scalar"):
+        best = None
+        for _ in range(WORKLOAD["rounds"]):
+            start = time.perf_counter()
+            runs = run_sweep(engine)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        timings[engine] = best
+        results[engine] = runs
+    mismatches = [
+        (name, bench)
+        for (name, bench), scalar_run, event_run in zip(
+            ((m, b) for m in WORKLOAD["models"]
+             for b in WORKLOAD["benchmarks"]),
+            results["scalar"], results["event"])
+        if scalar_run != event_run
+    ]
+    if mismatches:
+        raise SystemExit(
+            f"FATAL: engines disagree on {mismatches}; a perf number "
+            f"for a wrong engine is meaningless -- run the differential "
+            f"suite (tests/core/test_fast_equiv.py)"
+        )
+    return {
+        "scalar_seconds": round(timings["scalar"], 3),
+        "event_seconds": round(timings["event"], 3),
+        "speedup": round(timings["scalar"] / timings["event"], 3),
+    }
+
+
+def write_profile(path: Path) -> None:
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_sweep("event")
+    profiler.disable()
+    profiler.dump_stats(str(path))
+    print(f"event-engine profile written to {path} "
+          f"(inspect with `python -m pstats`)")
+
+
+def load_baseline() -> dict:
+    with open(BASELINE_PATH) as fh:
+        return json.load(fh)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--check", action="store_true",
+                        help="gate against BENCH_perf.json (+/-20%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="append this measurement to the trajectory")
+    parser.add_argument("--label", default="",
+                        help="trajectory label for --update")
+    parser.add_argument("--profile", type=Path, default=None,
+                        help="also write an event-engine cProfile here")
+    args = parser.parse_args(argv)
+
+    current = measure()
+    print(f"scalar: {current['scalar_seconds']:.2f}s   "
+          f"event: {current['event_seconds']:.2f}s   "
+          f"speedup: {current['speedup']:.2f}x "
+          f"({platform.python_implementation()} "
+          f"{platform.python_version()})")
+
+    if args.profile is not None:
+        write_profile(args.profile)
+
+    status = 0
+    if args.check:
+        pinned = load_baseline()["trajectory"][-1]["speedup"]
+        low = pinned * (1 - TOLERANCE)
+        high = pinned * (1 + TOLERANCE)
+        if current["speedup"] < low:
+            print(f"FAIL: speedup {current['speedup']:.2f}x fell below "
+                  f"{low:.2f}x (pinned {pinned:.2f}x -{TOLERANCE:.0%}); "
+                  f"the event engine regressed")
+            status = 1
+        elif current["speedup"] > high:
+            print(f"FAIL: speedup {current['speedup']:.2f}x exceeds "
+                  f"{high:.2f}x (pinned {pinned:.2f}x +{TOLERANCE:.0%}); "
+                  f"record the improvement with --update")
+            status = 1
+        else:
+            print(f"OK: within {TOLERANCE:.0%} of the pinned "
+                  f"{pinned:.2f}x")
+
+    if args.update:
+        baseline = (load_baseline() if BASELINE_PATH.exists()
+                    else {"workload": WORKLOAD, "trajectory": []})
+        baseline["workload"] = WORKLOAD
+        entry = dict(current)
+        if args.label:
+            entry["label"] = args.label
+        baseline["trajectory"].append(entry)
+        with open(BASELINE_PATH, "w") as fh:
+            json.dump(baseline, fh, indent=2)
+            fh.write("\n")
+        print(f"trajectory updated: {BASELINE_PATH}")
+
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Attribute-flattened cluster for the event-driven core.
+
+Identical resource accounting and oldest-first selection as
+:class:`Cluster`; the per-instruction property/dict lookups
+(``op.is_fp``, ``FU_POOL[op]``) become single attribute loads stamped by
+:mod:`repro.workloads.fastops`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+from ..core.instruction import DynInstr
+from ..workloads import fastops  # noqa: F401  (stamps OpClass attrs)
+from .cluster import Cluster
+
+
+class FastCluster(Cluster):
+    """Drop-in :class:`Cluster` with flattened hot paths."""
+
+    def can_accept(self, op, has_dest: bool) -> bool:
+        if op._fast_fp:
+            return self.free_fp_iq > 0 and (
+                not has_dest or self.free_fp_regs > 0
+            )
+        return self.free_int_iq > 0 and (
+            not has_dest or self.free_int_regs > 0
+        )
+
+    def admit(self, instr: DynInstr) -> None:
+        op = instr.rec.op
+        has_dest = instr.rec.dest >= 0
+        if not self.can_accept(op, has_dest):
+            raise RuntimeError(f"cluster {self.index} has no room for {op}")
+        if op._fast_fp:
+            self.free_fp_iq -= 1
+            if has_dest:
+                self.free_fp_regs -= 1
+        else:
+            self.free_int_iq -= 1
+            if has_dest:
+                self.free_int_regs -= 1
+        instr.cluster = self.index
+        self.dispatched_count += 1
+
+    def release_register(self, instr: DynInstr) -> None:
+        if instr.rec.dest < 0:
+            return
+        if instr.rec.op._fast_fp:
+            self.free_fp_regs = min(self.regfile_size, self.free_fp_regs + 1)
+        else:
+            self.free_int_regs = min(self.regfile_size, self.free_int_regs + 1)
+
+    def free_iq_entries(self, op) -> int:
+        return self.free_fp_iq if op._fast_fp else self.free_int_iq
+
+    def make_ready(self, instr: DynInstr) -> None:
+        heapq.heappush(self._ready[instr.rec.op._fast_pool], instr.seq)
+        self._ready_instrs[instr.seq] = instr
+
+    def select(self) -> List[DynInstr]:
+        selected: List[DynInstr] = []
+        ready_instrs = self._ready_instrs
+        heappop = heapq.heappop
+        for pool, heap in self._ready.items():
+            if not heap:
+                continue
+            budget = self.fu_counts[pool]
+            while budget > 0 and heap:
+                seq = heappop(heap)
+                instr = ready_instrs.pop(seq)
+                instr.issued = True
+                selected.append(instr)
+                budget -= 1
+                self.issued_count += 1
+                if instr.rec.op._fast_fp:
+                    self.free_fp_iq = min(self.iq_size, self.free_fp_iq + 1)
+                else:
+                    self.free_int_iq = min(self.iq_size, self.free_int_iq + 1)
+        return selected

@@ -1,0 +1,200 @@
+"""Vectorized instruction steering for the event-driven core.
+
+Same weights, same tie-breaks, same telemetry as
+:class:`SteeringHeuristic` -- restructured for speed:
+
+* small topologies (under :data:`VectorSteering.NUMPY_MIN_CLUSTERS`
+  clusters) run a flattened scalar loop with no per-cluster method
+  calls;
+* larger topologies (the paper's 16-cluster configurations) score all
+  clusters with numpy passes over precomputed affinity rows.
+
+Bit-exactness note: every cluster's score is produced by the *same
+sequence* of IEEE-754 operations as the scalar heuristic (per-element
+multiply-then-add, no reassociation, no FMA), so both paths pick
+identical clusters and the differential suite holds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    np = None
+
+from ..core.instruction import DynInstr
+from ..interconnect.topology import Topology
+from ..telemetry import EventKind, Telemetry
+from ..workloads import fastops  # noqa: F401  (stamps OpClass attrs)
+from .cluster import Cluster
+from .criticality import CriticalityPredictor
+from .steering import SteeringHeuristic, SteeringWeights
+
+
+class VectorSteering(SteeringHeuristic):
+    """Drop-in :class:`SteeringHeuristic` with vectorized scoring."""
+
+    #: Below this cluster count the flattened scalar loop beats numpy's
+    #: per-call overhead; at or above it the vector path wins.
+    NUMPY_MIN_CLUSTERS = 8
+
+    def __init__(self, clusters: Sequence[Cluster], topology: Topology,
+                 weights: SteeringWeights | None = None,
+                 criticality: CriticalityPredictor | None = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
+        super().__init__(clusters, topology, weights,
+                         criticality=criticality, telemetry=telemetry)
+        n = len(self.clusters)
+        self._n = n
+        #: Static overflow orders: nearest-with-room scan order per
+        #: origin cluster, sorted by (distance, index) once.
+        self._orders: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(
+                range(n),
+                key=lambda j, o=origin: (self._cluster_distance[o][j], j),
+            ))
+            for origin in range(n)
+        )
+        self._use_np = np is not None and n >= self.NUMPY_MIN_CLUSTERS
+        if self._use_np:
+            self._aff_np = np.asarray(self._affinity, dtype=np.float64)
+            self._cache_aff_np = np.asarray(self._cache_affinity,
+                                            dtype=np.float64)
+            self._iq_np = np.asarray(
+                [c.iq_size for c in self.clusters], dtype=np.float64
+            )
+            self._penalty_np = np.zeros(n, dtype=np.float64)
+
+    def note_degraded_link(self, cluster_index: int,
+                           cycle: int = 0) -> None:
+        super().note_degraded_link(cluster_index, cycle)
+        if self._use_np and 0 <= cluster_index < self._n:
+            self._penalty_np[cluster_index] = \
+                self._link_penalty[cluster_index]
+
+    def choose(self, instr: DynInstr,
+               producers: Sequence[Tuple[int, DynInstr]],
+               cycle: int = 0) -> Optional[Cluster]:
+        n = self._n
+        clusters = self.clusters
+        op = instr.op
+        if self._use_np:
+            scores, free = self._score_np(producers, op)
+        else:
+            scores, free = self._score(producers, op)
+
+        # argmax over (score, free IQ entries, earliest index) -- the
+        # scalar heuristic's exact tie-break.
+        best = 0
+        best_score = scores[0]
+        best_free = free[0]
+        for i in range(1, n):
+            score = scores[i]
+            if score > best_score or (score == best_score
+                                      and free[i] > best_free):
+                best = i
+                best_score = score
+                best_free = free[i]
+
+        has_dest = instr.rec.dest >= 0
+        chosen = clusters[best]
+        if chosen.can_accept(op, has_dest):
+            self.steered += 1
+            return chosen
+        fallback = None
+        for j in self._orders[best]:
+            cluster = clusters[j]
+            if cluster.can_accept(op, has_dest):
+                fallback = cluster
+                break
+        if fallback is not None:
+            self.overflowed += 1
+            tel = self.telemetry
+            if tel.enabled:
+                tel.count("steering.overflow")
+                tel.emit(cycle, EventKind.STEER_OVERFLOW, {
+                    "preferred": best,
+                    "fallback": fallback.index,
+                })
+        return fallback
+
+    # -- scoring -----------------------------------------------------------
+
+    def _score(self, producers, op):
+        """Flattened scalar scoring (small cluster counts)."""
+        n = self._n
+        clusters = self.clusters
+        w = self.weights
+        scores = [0.0] * n
+        for _, producer in producers:
+            home = producer.cluster
+            if 0 <= home < n:
+                affinity = self._affinity[home]
+                dep = w.dependence
+                for c in range(n):
+                    scores[c] += dep * affinity[c]
+        if len(producers) > 1:
+            pcs = [p.rec.pc for _, p in producers]
+            critical = self.criticality.pick_critical(pcs)
+            if critical is not None:
+                home = producers[critical][1].cluster
+                if 0 <= home < n:
+                    affinity = self._affinity[home]
+                    bonus = w.critical_bonus
+                    for c in range(n):
+                        scores[c] += bonus * affinity[c]
+        balance = w.load_balance
+        free = [0] * n
+        if op._fast_fp:
+            for i in range(n):
+                cluster = clusters[i]
+                entries = cluster.free_fp_iq
+                free[i] = entries
+                scores[i] += balance * (entries / cluster.iq_size)
+        else:
+            for i in range(n):
+                cluster = clusters[i]
+                entries = cluster.free_int_iq
+                free[i] = entries
+                scores[i] += balance * (entries / cluster.iq_size)
+        if op._fast_mem:
+            proximity_w = w.cache_proximity
+            cache_affinity = self._cache_affinity
+            for i in range(n):
+                scores[i] += proximity_w * cache_affinity[i]
+        if self._any_degraded:
+            penalties = self._link_penalty
+            for i in range(n):
+                scores[i] -= penalties[i]
+        return scores, free
+
+    def _score_np(self, producers, op):
+        """Numpy scoring pass (large cluster counts)."""
+        n = self._n
+        clusters = self.clusters
+        w = self.weights
+        scores = np.zeros(n, dtype=np.float64)
+        for _, producer in producers:
+            home = producer.cluster
+            if 0 <= home < n:
+                scores += w.dependence * self._aff_np[home]
+        if len(producers) > 1:
+            pcs = [p.rec.pc for _, p in producers]
+            critical = self.criticality.pick_critical(pcs)
+            if critical is not None:
+                home = producers[critical][1].cluster
+                if 0 <= home < n:
+                    scores += w.critical_bonus * self._aff_np[home]
+        if op._fast_fp:
+            free = [c.free_fp_iq for c in clusters]
+        else:
+            free = [c.free_int_iq for c in clusters]
+        free_np = np.asarray(free, dtype=np.float64)
+        scores += w.load_balance * (free_np / self._iq_np)
+        if op._fast_mem:
+            scores += w.cache_proximity * self._cache_aff_np
+        if self._any_degraded:
+            scores -= self._penalty_np
+        return scores.tolist(), free

@@ -78,6 +78,14 @@ class ProcessorStats:
 class ClusteredProcessor:
     """Cycle-level model of the paper's evaluation platform."""
 
+    #: Substrate classes, overridable by alternative engines (the
+    #: event-driven core swaps in fast subclasses; the scalar reference
+    #: tree itself stays untouched).
+    NETWORK_CLS = Network
+    CLUSTER_CLS = Cluster
+    STEERING_CLS = SteeringHeuristic
+    LSQ_CLS = LoadStoreQueue
+
     def __init__(self, config: ProcessorConfig,
                  interconnect: InterconnectConfig,
                  supply, seed_tag: str = "",
@@ -88,16 +96,17 @@ class ClusteredProcessor:
             else NULL_TELEMETRY
         self.topology = config.build_topology()
         composition = interconnect.build_composition()
-        self.network = Network(self.topology, composition,
-                               interconnect.flags, injector=faults,
-                               telemetry=self.telemetry)
+        self.network = self.NETWORK_CLS(self.topology, composition,
+                                        interconnect.flags,
+                                        injector=faults,
+                                        telemetry=self.telemetry)
         self.network.on_plane_kill = self._plane_killed
         self.clusters = [
-            Cluster(i, cluster_node(i), config.issue_queue_size,
-                    config.regfile_size)
+            self.CLUSTER_CLS(i, cluster_node(i), config.issue_queue_size,
+                             config.regfile_size)
             for i in range(config.num_clusters)
         ]
-        self.steering = SteeringHeuristic(
+        self.steering = self.STEERING_CLS(
             self.clusters, self.topology, SteeringWeights(),
             telemetry=self.telemetry,
         )
@@ -111,7 +120,7 @@ class ClusteredProcessor:
             MemoryDependencePredictor()
             if config.memory_dependence_speculation else None
         )
-        self.lsq = LoadStoreQueue(
+        self.lsq = self.LSQ_CLS(
             self.cache_pipeline, config.lsq_size,
             partial_enabled=partial,
             load_done=self._load_data_ready,

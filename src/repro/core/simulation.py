@@ -21,7 +21,24 @@ DEFAULT_INSTRUCTIONS = int(os.environ.get("REPRO_INSTRUCTIONS", "12000"))
 DEFAULT_WARMUP = int(os.environ.get("REPRO_WARMUP", "3000"))
 DEFAULT_SEED = 42
 
+#: Simulation engines.  "scalar" is the reference tree; "event" is the
+#: event-driven fast engine (:mod:`repro.core.fastcore`), bit-exact with
+#: the reference by the differential suite's contract.  An explicit
+#: ``engine=`` argument wins; otherwise ``REPRO_ENGINE`` decides, and the
+#: library default is the reference engine (the CLI defaults to "event").
+ENGINES = ("scalar", "event")
+
 FaultSpecLike = Union[str, FaultSpec, None]
+
+
+def _resolve_engine(engine: Optional[str]) -> str:
+    if engine is None:
+        engine = os.environ.get("REPRO_ENGINE", "scalar")
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
 
 
 def _build_injector(fault_spec: FaultSpecLike, seed: int,
@@ -42,13 +59,28 @@ def build_processor(interconnect: InterconnectConfig, benchmark: str,
                     latency_scale: float = 1.0,
                     config: Optional[ProcessorConfig] = None,
                     fault_spec: FaultSpecLike = None,
-                    telemetry: Optional[Telemetry] = None
+                    telemetry: Optional[Telemetry] = None,
+                    engine: Optional[str] = None
                     ) -> ClusteredProcessor:
     """A processor wired to one synthetic SPEC2k benchmark."""
     if config is None:
         config = ProcessorConfig(
             num_clusters=num_clusters, latency_scale=latency_scale
         )
+    if _resolve_engine(engine) == "event":
+        from ..workloads.annotate import annotated_trace
+        from .fastcore import EventProcessor
+
+        annotated = annotated_trace(benchmark, seed,
+                                    config.icache_size_kb,
+                                    config.icache_assoc)
+        cpu: ClusteredProcessor = EventProcessor(
+            config, interconnect, annotated,
+            faults=_build_injector(fault_spec, seed, telemetry),
+            telemetry=telemetry,
+        )
+        cpu.prewarm(annotated.footprint)
+        return cpu
     generator = TraceGenerator(profile(benchmark), seed=seed)
     cpu = ClusteredProcessor(
         config, interconnect, generator.stream_forever(),
@@ -66,7 +98,8 @@ def simulate_benchmark(interconnect: InterconnectConfig, benchmark: str,
                        latency_scale: float = 1.0,
                        config: Optional[ProcessorConfig] = None,
                        fault_spec: FaultSpecLike = None,
-                       telemetry: Optional[Telemetry] = None
+                       telemetry: Optional[Telemetry] = None,
+                       engine: Optional[str] = None
                        ) -> BenchmarkRun:
     """Run one benchmark under one interconnect; returns measured numbers.
 
@@ -78,7 +111,7 @@ def simulate_benchmark(interconnect: InterconnectConfig, benchmark: str,
     """
     cpu = build_processor(interconnect, benchmark, num_clusters, seed,
                           latency_scale, config, fault_spec=fault_spec,
-                          telemetry=telemetry)
+                          telemetry=telemetry, engine=engine)
     if telemetry is not None and telemetry.enabled:
         telemetry.emit(cpu.cycle, EventKind.RUN_START, {
             "benchmark": benchmark,
@@ -133,14 +166,15 @@ def simulate_model(model: InterconnectModel,
                    num_clusters: int = 4, seed: int = DEFAULT_SEED,
                    latency_scale: float = 1.0,
                    fault_spec: FaultSpecLike = None,
-                   telemetry: Optional[Telemetry] = None) -> ModelResult:
+                   telemetry: Optional[Telemetry] = None,
+                   engine: Optional[str] = None) -> ModelResult:
     """Run a whole benchmark suite under one interconnect model."""
     names = tuple(benchmarks) if benchmarks is not None else BENCHMARK_NAMES
     runs = tuple(
         simulate_benchmark(
             model.config, name, instructions, warmup,
             num_clusters, seed, latency_scale, fault_spec=fault_spec,
-            telemetry=telemetry,
+            telemetry=telemetry, engine=engine,
         )
         for name in names
     )

@@ -1,0 +1,109 @@
+"""Annotation-replay fetch unit for the event-driven core.
+
+Byte-for-byte replica of :class:`~repro.frontend.fetch.FetchUnit`'s
+timing behaviour that reads precomputed front-end annotations
+(:mod:`repro.workloads.annotate`) instead of running the trace
+generator, branch predictor, BTB and I-cache live.  The differential
+suite pins the two engines bit-exact, so every stall/retry/redirect
+decision here mirrors the scalar loop exactly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..core.instruction import DynInstr
+from ..workloads.annotate import AnnotatedTrace
+from ..workloads.trace import OpClass
+
+
+class AnnotatedFetchUnit:
+    """Replays an :class:`AnnotatedTrace` through the fetch contract."""
+
+    def __init__(self, annotated: AnnotatedTrace, width: int = 8,
+                 queue_size: int = 64, max_blocks: int = 2,
+                 refill_penalty: int = 10,
+                 icache_miss_penalty: int = 12) -> None:
+        self._ann = annotated
+        self.width = width
+        self.max_blocks = max_blocks
+        self.refill_penalty = refill_penalty
+        self.icache_miss_penalty = icache_miss_penalty
+        self.queue: Deque[DynInstr] = deque()
+        self.queue_size = queue_size
+        self._seq = 0
+        #: The current record already paid its I-cache miss stall.
+        self._retrying = False
+        self._resume_cycle = 0
+        self._redirect_seq: Optional[int] = None
+        #: The synthetic stream is infinite; kept for interface parity.
+        self.exhausted = False
+        self.fetched = 0
+        self.redirects = 0
+
+    # -- redirect handshake -------------------------------------------------
+
+    @property
+    def stalled_for_redirect(self) -> bool:
+        return self._redirect_seq is not None
+
+    def redirect_arrived(self, branch_seq: int, cycle: int) -> None:
+        if self._redirect_seq != branch_seq:
+            return
+        self._redirect_seq = None
+        self._resume_cycle = cycle + self.refill_penalty
+        self.redirects += 1
+
+    def stall_until(self, cycle: int) -> None:
+        self._resume_cycle = max(self._resume_cycle, cycle)
+
+    # -- per-cycle fetch ------------------------------------------------------
+
+    def tick(self, cycle: int) -> int:
+        if self._redirect_seq is not None or cycle < self._resume_cycle:
+            return 0
+        ann = self._ann
+        records = ann.records
+        miss = ann.miss
+        queue = self.queue
+        queue_size = self.queue_size
+        seq = self._seq
+        fetched = 0
+        blocks = 1
+        width = self.width
+        max_blocks = self.max_blocks
+        while fetched < width and len(queue) < queue_size:
+            if seq >= len(records):
+                ann.ensure(seq + 1)
+                records = ann.records
+                miss = ann.miss
+            if miss[seq] and not self._retrying:
+                # I-cache miss: stall, retry this record when the line
+                # is in (annotation already accounted the retry hit).
+                self._retrying = True
+                self._resume_cycle = cycle + self.icache_miss_penalty
+                break
+            self._retrying = False
+            rec = records[seq]
+            instr = DynInstr(seq, rec)
+            seq += 1
+            self.fetched += 1
+            fetched += 1
+            if rec.op is OpClass.BRANCH:
+                index = instr.seq
+                instr.pred_taken = bool(ann.pred_taken[index])
+                instr.mispredicted = bool(ann.mispredicted[index])
+                instr.btb_miss = bool(ann.btb_miss[index])
+                if instr.mispredicted or instr.btb_miss:
+                    self._redirect_seq = instr.seq
+                    queue.append(instr)
+                    break
+                blocks += 1
+                queue.append(instr)
+                if blocks > max_blocks:
+                    break
+            else:
+                queue.append(instr)
+        self._seq = seq
+        return fetched

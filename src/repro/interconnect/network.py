@@ -100,6 +100,9 @@ class DegradationReport:
 class Network:
     """Cycle-driven heterogeneous inter-cluster network."""
 
+    #: Wire-selector class, overridable by alternative engines.
+    SELECTOR_CLS = WireSelector
+
     #: Fixed histogram buckets: segment payload sizes (bits) and cycles
     #: a segment waited between eligibility and its grant.
     SEGMENT_BITS_BUCKETS = (18, 54, 72, 144, 288)
@@ -113,8 +116,8 @@ class Network:
         self.composition = composition
         self.telemetry = telemetry if telemetry is not None \
             else NULL_TELEMETRY
-        self.selector = WireSelector(composition, flags,
-                                     telemetry=self.telemetry)
+        self.selector = self.SELECTOR_CLS(composition, flags,
+                                          telemetry=self.telemetry)
         self.stats = InterconnectStats()
         self.injector = injector
         # Per (out-channel, plane) FIFO queues; only non-empty ones are in

@@ -59,6 +59,32 @@ class InterconnectStats:
         activity.weighted_bits += bits * energy_weight
         self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
 
+    def merge(self, other: "InterconnectStats") -> "InterconnectStats":
+        """Fold ``other``'s counters into this one; returns ``self``.
+
+        All counters are integers, so merging is exact and associative.
+        Planes and kinds unseen here are appended in ``other``'s
+        insertion order, preserving the first-touch ordering that
+        :meth:`dynamic_energy` sums in.
+        """
+        for wire_class, activity in other.by_plane.items():
+            mine = self.by_plane.get(wire_class)
+            if mine is None:
+                mine = self.by_plane.setdefault(wire_class, PlaneActivity())
+            mine.transfers += activity.transfers
+            mine.bits += activity.bits
+            mine.weighted_bits += activity.weighted_bits
+        for kind, count in other.by_kind.items():
+            self.by_kind[kind] = self.by_kind.get(kind, 0) + count
+        self.buffered_cycles += other.buffered_cycles
+        self.split_transfers += other.split_transfers
+        self.diverted_transfers += other.diverted_transfers
+        self.corrupted_segments += other.corrupted_segments
+        self.retransmissions += other.retransmissions
+        self.retry_escalations += other.retry_escalations
+        self.degraded_reroutes += other.degraded_reroutes
+        return self
+
     def dynamic_energy(self) -> float:
         """Relative dynamic energy of all recorded traffic."""
         total = 0.0

@@ -1,0 +1,142 @@
+"""Wake-filtered load/store queue for the event-driven core.
+
+The scalar :class:`LoadStoreQueue` re-advances *every* waiting load on
+every store address/data event, and each advance rescans the load's
+older-store snapshot.  This subclass keeps the state machine identical
+(the differential suite pins it) while skipping advances that provably
+cannot make progress:
+
+* committed stores are pruned from each load's older-store snapshot in
+  place -- the live-store filter is idempotent, so caching its result
+  only shortens later scans;
+* a load still waiting for its *own* address is a no-op to advance once
+  the early-RAM question is settled (RAM started, or partial addressing
+  disabled) -- only its own address events can move it;
+* a load waiting on a forwarding store's data can, at that point, only
+  be advanced by that store's data arriving: its older stores all have
+  full addresses (so the youngest-match choice is frozen) and the
+  matching store cannot commit out from under it without that same data.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.instruction import DynInstr
+from .lsq import LoadStoreQueue, _Entry
+
+
+class _FastEntry(_Entry):
+    """LSQ slot with a memoized forward-wait target."""
+
+    __slots__ = ("wait_store",)
+
+    def __init__(self, instr: DynInstr, is_store: bool,
+                 older_stores: List[_Entry]) -> None:
+        super().__init__(instr, is_store, older_stores)
+        #: The store whose data this load's forward is waiting on, if
+        #: the match is already decided (non-speculative loads only).
+        self.wait_store: Optional[_Entry] = None
+
+
+class FastLoadStoreQueue(LoadStoreQueue):
+    """Scalar LSQ semantics with wake filtering."""
+
+    def allocate(self, instr: DynInstr) -> bool:
+        if not self.has_room():
+            return False
+        older = [s for s in self._stores if not s.committed]
+        entry = _FastEntry(instr, instr.is_store,
+                           older if instr.is_load else [])
+        self._entries[instr.seq] = entry
+        if instr.is_store:
+            self._stores.append(entry)
+        else:
+            self._waiting_loads.append(entry)
+            if self.dependence_predictor is not None:
+                entry.wait_for_stores = (
+                    self.dependence_predictor.predicts_dependence(
+                        instr.rec.pc
+                    )
+                )
+        instr.lsq_index = instr.seq
+        return True
+
+    def _wake_loads(self, cycle: int) -> None:
+        waiting = self._waiting_loads
+        if not waiting:
+            return
+        partial = self.partial_enabled
+        for entry in list(waiting):
+            if entry.done:
+                continue
+            wait_store = entry.wait_store
+            if wait_store is not None:
+                if wait_store.data_cycle < 0:
+                    continue
+                entry.wait_store = None
+            elif entry.full is None and (not partial or entry.ram_started):
+                # Only this load's own address events can advance it now.
+                continue
+            self._advance_load(entry, cycle)
+
+    def _advance_load(self, entry: _Entry, cycle: int) -> None:
+        if entry.done:
+            return
+        if not entry.wait_for_stores:
+            self._advance_speculative_load(entry, cycle)
+            return
+        older = entry.older_stores
+        for store in older:
+            if store.committed:
+                older = [s for s in older if not s.committed]
+                entry.older_stores = older
+                break
+
+        if (self.partial_enabled and not entry.ram_started
+                and entry.ls is not None):
+            entry_ls = entry.ls
+            all_known = True
+            ls_match = False
+            for store in older:
+                store_ls = store.ls
+                if store_ls is None:
+                    # An LS match only counts once every older store's
+                    # LS bits are in -- same as the scalar all()/any().
+                    all_known = False
+                    break
+                if store_ls == entry_ls:
+                    ls_match = True
+            if all_known:
+                if not ls_match:
+                    entry.ram_started = True
+                    entry.ram_done = self.pipeline.start_ram_early(
+                        self._probe_addr(entry), cycle
+                    )
+                    self.early_ram_starts += 1
+                else:
+                    entry.had_ls_match = True
+
+        if entry.full is None:
+            return
+        for store in older:
+            if store.full is None:
+                return
+
+        match = None
+        entry_full = entry.full
+        for store in reversed(older):
+            if store.full == entry_full:
+                match = store
+                break
+
+        if match is not None:
+            if match.data_cycle < 0:
+                entry.wait_store = match
+                return
+            self._finish_forward(entry, match, cycle)
+            return
+
+        if entry.had_ls_match:
+            self.false_dependences += 1
+        self._finish_cache_access(entry, cycle)

@@ -1,0 +1,37 @@
+"""Plain-attribute views of per-op constants for the fast engine.
+
+``EXECUTION_LATENCY[op]``, ``op.is_memory`` and ``op.is_fp`` are dict
+lookups and Python-level properties -- measurable on the hottest
+per-instruction paths (``enum.__hash__`` alone was a top-five profile
+entry).  Stamping them onto the enum members once turns each into a
+single attribute load.
+
+Additive only: scalar-tree code keeps using the canonical dict and
+properties; nothing observes the extra attributes except the fast
+engine's subclasses.  Importing this module applies the stamps
+(idempotently).
+"""
+
+from __future__ import annotations
+
+from .trace import EXECUTION_LATENCY, OpClass
+
+#: Functional-unit pool per op class -- mirrors
+#: :data:`repro.clusters.cluster.FU_POOL` (not imported to avoid a
+#: workloads -> clusters dependency cycle; pinned by a test).
+_FU_POOL = {
+    OpClass.IALU: "ialu",
+    OpClass.LOAD: "ialu",
+    OpClass.STORE: "ialu",
+    OpClass.BRANCH: "ialu",
+    OpClass.IMUL: "imul",
+    OpClass.FPALU: "fpalu",
+    OpClass.FPMUL: "fpmul",
+}
+
+for _op in OpClass:
+    _op._fast_lat = EXECUTION_LATENCY[_op]
+    _op._fast_mem = _op.is_memory
+    _op._fast_fp = _op.is_fp
+    _op._fast_pool = _FU_POOL[_op]
+del _op
