@@ -105,6 +105,31 @@ def _fault_spec(text: str) -> str:
         raise argparse.ArgumentTypeError(str(exc)) from None
 
 
+def _service_fault_spec(text: str) -> str:
+    """argparse type: service-level chaos spec, canonicalized."""
+    from .service import ServiceFaultSpec, ServiceFaultSpecError
+
+    try:
+        return ServiceFaultSpec.parse(text).canonical()
+    except ServiceFaultSpecError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _port(text: str) -> int:
+    """argparse type: TCP port (0 picks an ephemeral one)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--port expects a TCP port number, got {text!r}"
+        ) from None
+    if not 0 <= value <= 65535:
+        raise argparse.ArgumentTypeError(
+            f"--port must be in [0, 65535], got {value}"
+        )
+    return value
+
+
 def _add_window_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--instructions", type=int, default=DEFAULT_INSTRUCTIONS,
@@ -239,6 +264,94 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print the metrics-registry snapshot after the summary",
     )
+
+    p = sub.add_parser(
+        "serve",
+        help="run the sweep-as-a-service job server (DESIGN.md "
+             "section 12): bounded admission, retry budgets, circuit "
+             "breaker, resumable jobs",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=_port, default=8642,
+                   help="bind port; 0 picks an ephemeral port "
+                        "(default: 8642)")
+    p.add_argument("--cache-dir", default=None, metavar="PATH",
+                   help="result cache directory (jobs and chaos state "
+                        "live beside it); default: the shared cache")
+    p.add_argument("--queue-capacity", type=_positive_workers,
+                   default=16, metavar="N",
+                   help="admission queue bound; submissions past it "
+                        "get 429 + Retry-After (default: 16)")
+    p.add_argument("--workers", type=_positive_workers, default=2,
+                   metavar="N",
+                   help="crash-isolated worker processes per job "
+                        "(default: 2)")
+    p.add_argument("--run-timeout", type=_positive_seconds,
+                   default=300.0, metavar="SECONDS",
+                   help="kill any single run past this wall clock "
+                        "(default: 300)")
+    p.add_argument("--max-retries", type=_retries, default=2,
+                   metavar="N",
+                   help="per-run retries inside a sweep (default: 2)")
+    p.add_argument("--job-retries", type=_retries, default=1,
+                   metavar="N",
+                   help="whole-job requeue budget after crash/timeout "
+                        "failures (default: 1)")
+    p.add_argument("--breaker-window", type=_positive_workers,
+                   default=20, metavar="N",
+                   help="run outcomes in the breaker's sliding window "
+                        "(default: 20)")
+    p.add_argument("--breaker-threshold", type=float, default=0.5,
+                   metavar="FRACTION",
+                   help="crash fraction that trips the breaker into "
+                        "cache-only mode (default: 0.5)")
+    p.add_argument("--breaker-cooldown", type=_positive_seconds,
+                   default=30.0, metavar="SECONDS",
+                   help="OPEN dwell before a half-open probe "
+                        "(default: 30)")
+    p.add_argument("--service-faults", type=_service_fault_spec,
+                   default="", metavar="SPEC",
+                   help="chaos injection spec, e.g. "
+                        "'kill-run=1;stall-dispatch=0.5;drop-conn=2'")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-job log lines")
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a model x benchmark sweep to a running server",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=_port, default=8642)
+    p.add_argument("--models", nargs="+", default=["I"],
+                   choices=MODEL_NAMES, metavar="MODEL",
+                   help="interconnect models to sweep (default: I)")
+    p.add_argument("--clusters", type=int, default=4)
+    p.add_argument("--latency-scale", type=float, default=1.0)
+    p.add_argument("--priority", type=int, default=0,
+                   help="admission priority (higher dequeues first)")
+    p.add_argument("--retry-budget", type=_retries, default=None,
+                   metavar="N",
+                   help="override the server's job requeue budget")
+    p.add_argument("--no-wait", action="store_true",
+                   help="return after admission instead of polling "
+                        "the job to completion")
+    p.add_argument("--timeout", type=_positive_seconds, default=600.0,
+                   metavar="SECONDS",
+                   help="when waiting, give up after this long "
+                        "(default: 600)")
+    _add_window_args(p)
+    _add_fault_spec_arg(p)
+
+    p = sub.add_parser(
+        "status",
+        help="show a job's status, or server health with no job id",
+    )
+    p.add_argument("job_id", nargs="?", default=None,
+                   help="job to inspect (omit for server health + "
+                        "job list)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=_port, default=8642)
 
     # "lint" is dispatched before parsing (its arguments belong to the
     # simlint parser); registered here so it shows up in --help.
@@ -445,6 +558,117 @@ def _cmd_faults(args: argparse.Namespace,
     return render_faultsweep(result)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .service import CircuitBreaker, SweepService, run_service
+
+    cache_dir = Path(args.cache_dir) if args.cache_dir else None
+    service = SweepService(
+        cache_dir=cache_dir, host=args.host, port=args.port,
+        queue_capacity=args.queue_capacity, workers=args.workers,
+        run_timeout=args.run_timeout, max_retries=args.max_retries,
+        job_retry_budget=args.job_retries,
+        breaker=CircuitBreaker(window=args.breaker_window,
+                               threshold=args.breaker_threshold,
+                               cooldown=args.breaker_cooldown),
+        faults=args.service_faults or None,
+        verbose=not args.quiet,
+    )
+    run_service(service)
+    return 0
+
+
+def _submit_plans(args: argparse.Namespace) -> List[ExperimentPlan]:
+    benchmarks = args.benchmarks or list(BENCHMARK_NAMES)
+    return [
+        ExperimentPlan(
+            model_name=model_name, benchmark=benchmark,
+            num_clusters=args.clusters,
+            latency_scale=args.latency_scale,
+            instructions=args.instructions, warmup=args.warmup,
+            seed=args.seed, fault_spec=args.fault_spec,
+        )
+        for model_name in args.models
+        for benchmark in benchmarks
+    ]
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import Backpressure, ServiceClient, ServiceError
+
+    client = ServiceClient(host=args.host, port=args.port)
+    plans = _submit_plans(args)
+    try:
+        if args.no_wait:
+            job = client.submit(plans, priority=args.priority,
+                                retry_budget=args.retry_budget)
+        else:
+            job = client.submit_and_wait(
+                plans, priority=args.priority,
+                retry_budget=args.retry_budget, timeout=args.timeout,
+            )
+    except Backpressure as exc:
+        print(f"rejected: {exc.message} (Retry-After: "
+              f"{exc.retry_after}s)", file=sys.stderr)
+        return 3
+    except ServiceError as exc:
+        print(f"submission failed: {exc}", file=sys.stderr)
+        return 2
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot reach {args.host}:{args.port}: {exc} "
+              f"(is 'repro serve' running?)", file=sys.stderr)
+        return 2
+    print(f"job {job['job_id']}: {job['state']} "
+          f"({job['plans']} plan(s), attempt {job['attempts']})")
+    summary = job.get("summary")
+    if summary:
+        print(f"  executed {summary['executed']}, "
+              f"cache hits {summary['cache_hits']}, "
+              f"failed {summary['failed']}")
+    if job.get("manifest"):
+        print(job["manifest"])
+    return 0 if job["state"] in ("queued", "running", "done") else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(host=args.host, port=args.port)
+    try:
+        if args.job_id:
+            job = client.job(args.job_id)
+            print(f"job {job['job_id']}: {job['state']} "
+                  f"({job['plans']} plan(s), attempt "
+                  f"{job['attempts']}/{job['retry_budget'] + 1})")
+            summary = job.get("summary")
+            if summary:
+                print(f"  executed {summary['executed']}, "
+                      f"cache hits {summary['cache_hits']}, "
+                      f"failed {summary['failed']}")
+            if job.get("manifest"):
+                print(job["manifest"])
+            return 0 if job["state"] != "failed" else 1
+        health = client.health()
+        print(f"server {args.host}:{args.port}: "
+              f"breaker {health['breaker']} "
+              f"(crash rate {health['crash_rate']:.0%}), "
+              f"queue {health['queue_depth']}/"
+              f"{health['queue_capacity']}, "
+              f"{health['jobs']} job(s) known")
+        for job in client.jobs():
+            print(f"  {job['job_id']}  {job['state']:<9s} "
+                  f"{job['plans']} plan(s)")
+        return 0
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot reach {args.host}:{args.port}: {exc} "
+              f"(is 'repro serve' running?)", file=sys.stderr)
+        return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     # CLI runs default to the event-driven fast engine; REPRO_ENGINE in
     # the environment (e.g. "scalar") still wins.  The override is
@@ -486,6 +710,12 @@ def _main(argv: Optional[List[str]] = None) -> int:
     if command == "trace":
         print(_cmd_trace(args))
         return 0
+    if command == "serve":
+        return _cmd_serve(args)
+    if command == "submit":
+        return _cmd_submit(args)
+    if command == "status":
+        return _cmd_status(args)
 
     # Sweep commands: --telemetry/--trace-out attach a wall-clock
     # harness profiler (cache probes, runs, workers) to the runner.

@@ -114,6 +114,11 @@ class FileContext:
         return self.rel.startswith("src/repro/harness/")
 
     @property
+    def in_service(self) -> bool:
+        """Inside the sweep service (wall-clock timeouts are its job)."""
+        return self.rel.startswith("src/repro/service/")
+
+    @property
     def in_tests(self) -> bool:
         return self.rel.startswith("tests/")
 

@@ -5,4 +5,10 @@ Importing this package registers every rule with
 hazard in *this* codebase that motivated its family.
 """
 
-from . import cachekey, determinism, exceptions, hygiene  # noqa: F401
+from . import (  # noqa: F401
+    asynchygiene,
+    cachekey,
+    determinism,
+    exceptions,
+    hygiene,
+)

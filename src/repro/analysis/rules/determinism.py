@@ -95,11 +95,13 @@ def check_wall_clock(ctx: FileContext) -> Iterator[Finding]:
     """Simulator results must be pure functions of the plan.
 
     Timing instrumentation belongs in ``src/repro/harness/`` (runner
-    duration provenance, timeout enforcement); anywhere else in
-    ``src/repro/`` a clock or entropy read means the model's numbers
-    can depend on when or where they were produced.
+    duration provenance, timeout enforcement) and
+    ``src/repro/service/`` (retry backoff, breaker cooldowns, queue
+    drain estimates -- wall-clock concerns by design); anywhere else
+    in ``src/repro/`` a clock or entropy read means the model's
+    numbers can depend on when or where they were produced.
     """
-    if not ctx.in_src or ctx.in_harness:
+    if not ctx.in_src or ctx.in_harness or ctx.in_service:
         return
     imports = collect_imports(ctx.tree)
     for node in ast.walk(ctx.tree):

@@ -15,10 +15,12 @@ from .formatting import (
     render_table,
     shape_check,
 )
+from .backoff import DecorrelatedJitter, backoff_seed, jitter_delays
 from .paperdata import PAPER_CLAIMS, PAPER_TABLE3, PAPER_TABLE4
 from .profiling import NULL_PROFILER, HarnessProfiler
 from .runner import (
     CACHE_VERSION,
+    REPORT_SCHEMA_VERSION,
     ExperimentPlan,
     ExperimentRunner,
     ResultCache,
@@ -34,6 +36,10 @@ __all__ = [
     "NULL_PROFILER",
     "HarnessProfiler",
     "CACHE_VERSION",
+    "REPORT_SCHEMA_VERSION",
+    "DecorrelatedJitter",
+    "backoff_seed",
+    "jitter_delays",
     "ExperimentPlan",
     "ExperimentRunner",
     "ResultCache",

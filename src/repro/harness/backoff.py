@@ -1,0 +1,77 @@
+"""Seeded, decorrelated-jitter retry backoff.
+
+Deterministic exponential backoff (``base * 2**attempt``) has a herd
+problem: when one fault (a dead plane sweep, a wedged host) fails many
+workers at once, every one of them retries on the same schedule and the
+retry bursts stay synchronized forever.  The fix is *decorrelated
+jitter* (the AWS architecture-blog variant): each retry sleeps
+
+    ``delay = min(cap, uniform(base, 3 * previous_delay))``
+
+so consecutive delays random-walk upward and two failing plans drift
+apart after the first round.
+
+Reproducibility still matters -- a sweep must be replayable bit-for-bit
+from its plans -- so draws never touch the process-global RNG.  Each
+:class:`DecorrelatedJitter` owns a ``random.Random`` seeded from a
+``(seed, key)`` pair (the runner keys by plan cache key), making every
+retry schedule a pure function of the plan while keeping distinct plans
+decorrelated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import List
+
+#: Growth factor of the decorrelated-jitter random walk.
+_GROWTH = 3.0
+
+
+def backoff_seed(seed: int, key: str = "") -> int:
+    """A stable 64-bit RNG seed derived from ``(seed, key)``."""
+    digest = hashlib.blake2b(
+        f"{seed}:{key}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class DecorrelatedJitter:
+    """One retry schedule: seeded, bounded, decorrelated.
+
+    ``base`` is the minimum delay (seconds) and the starting point of
+    the random walk; ``cap`` bounds every draw.  ``base == 0`` yields
+    all-zero delays (tests that want no waiting).
+    """
+
+    def __init__(self, base: float, cap: float = 30.0,
+                 seed: int = 0, key: str = "") -> None:
+        if base < 0:
+            raise ValueError("backoff base must be non-negative seconds")
+        if cap < base:
+            raise ValueError("backoff cap must be >= base")
+        self.base = base
+        self.cap = cap
+        self._rng = random.Random(backoff_seed(seed, key))
+        self._prev = base
+
+    def next(self) -> float:
+        """The next delay in seconds; advances the schedule."""
+        if self.base == 0:
+            return 0.0
+        delay = min(self.cap,
+                    self._rng.uniform(self.base, self._prev * _GROWTH))
+        self._prev = delay
+        return delay
+
+    def reset(self) -> None:
+        """Restart the walk at ``base`` (the RNG stream continues)."""
+        self._prev = self.base
+
+
+def jitter_delays(count: int, base: float, cap: float = 30.0,
+                  seed: int = 0, key: str = "") -> List[float]:
+    """The first ``count`` delays of a fresh schedule (for tests)."""
+    schedule = DecorrelatedJitter(base, cap=cap, seed=seed, key=key)
+    return [schedule.next() for _ in range(count)]

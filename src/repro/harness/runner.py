@@ -37,9 +37,10 @@ import multiprocessing
 import os
 import subprocess
 import tempfile
+import threading
 import time
 from collections import deque
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, fields
 from pathlib import Path
 from typing import (
     Dict,
@@ -62,10 +63,14 @@ from ..core.simulation import (
 )
 from ..interconnect.selection import PolicyFlags
 from ..workloads.spec2k import BENCHMARK_NAMES
+from .backoff import DecorrelatedJitter
 from .profiling import NULL_PROFILER, HarnessProfiler
 
 #: Bump when simulator changes invalidate cached results.
 CACHE_VERSION = 5
+
+#: Bump when the :meth:`SweepReport.to_json` wire format changes.
+REPORT_SCHEMA_VERSION = 1
 
 #: Required result fields and their acceptable JSON types.
 _RESULT_SCHEMA: Dict[str, tuple] = {
@@ -108,6 +113,54 @@ class ExperimentPlan:
                 f"{self.instructions}i, tag={self.policy_tag}"
                 + (f", faults={self.fault_spec}" if self.fault_spec else "")
                 + ")")
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready dict; inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: object) -> "ExperimentPlan":
+        """Rebuild a plan from untrusted JSON; raises ``ValueError``.
+
+        Every field is type-checked so a malformed service submission
+        or a hand-edited manifest fails loudly at the boundary instead
+        of poisoning a cache key downstream.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(f"plan must be a JSON object, got "
+                             f"{type(data).__name__}")
+        allowed = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise ValueError(f"unknown plan field(s): {', '.join(unknown)}")
+        for required in ("model_name", "benchmark"):
+            if required not in data:
+                raise ValueError(f"plan is missing {required!r}")
+        for name, types in _PLAN_FIELD_TYPES.items():
+            if name not in data:
+                continue
+            value = data[name]
+            if not isinstance(value, types) or isinstance(value, bool):
+                raise ValueError(
+                    f"plan field {name!r} must be "
+                    f"{' or '.join(t.__name__ for t in types)}, "
+                    f"got {value!r}"
+                )
+        return cls(**data)
+
+
+#: Acceptable JSON types per :class:`ExperimentPlan` field.
+_PLAN_FIELD_TYPES: Dict[str, tuple] = {
+    "model_name": (str,),
+    "benchmark": (str,),
+    "num_clusters": (int,),
+    "latency_scale": (int, float),
+    "instructions": (int,),
+    "warmup": (int,),
+    "seed": (int,),
+    "policy_tag": (str,),
+    "fault_spec": (str,),
+}
 
 
 def _simulator_commit() -> str:
@@ -327,7 +380,9 @@ class RunFailure:
 
     plan: ExperimentPlan
     #: "timeout" (killed past run_timeout), "crash" (worker died without
-    #: reporting) or "error" (the simulator raised).
+    #: reporting), "error" (the simulator raised), "cancelled" (the
+    #: sweep's cancel event fired) or "breaker-open" (the sweep service
+    #: was degraded to cache-only mode).
     reason: str
     detail: str
     attempts: int
@@ -335,6 +390,28 @@ class RunFailure:
     def describe(self) -> str:
         return (f"{self.plan.describe()}: {self.reason} after "
                 f"{self.attempts} attempt(s) -- {self.detail}")
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "plan": self.plan.to_dict(),
+            "reason": self.reason,
+            "detail": self.detail,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_json(cls, data: object) -> "RunFailure":
+        if not isinstance(data, dict):
+            raise ValueError("failure entry must be a JSON object")
+        reason = data.get("reason")
+        detail = data.get("detail")
+        attempts = data.get("attempts")
+        if (not isinstance(reason, str) or not isinstance(detail, str)
+                or not isinstance(attempts, int)
+                or isinstance(attempts, bool)):
+            raise ValueError(f"malformed failure entry: {data!r}")
+        return cls(plan=ExperimentPlan.from_dict(data.get("plan")),
+                   reason=reason, detail=detail, attempts=attempts)
 
 
 @dataclass(frozen=True)
@@ -359,6 +436,22 @@ class SweepSummary:
                    f"max {self.max_duration:.2f}s per run"
                    if self.executed else ""))
 
+    @classmethod
+    def from_json(cls, data: object) -> "SweepSummary":
+        if not isinstance(data, dict):
+            raise ValueError("sweep summary must be a JSON object")
+        kwargs = {}
+        for field_def in fields(cls):
+            value = data.get(field_def.name)
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                raise ValueError(
+                    f"sweep summary field {field_def.name!r} must be "
+                    f"numeric, got {value!r}"
+                )
+            kwargs[field_def.name] = value
+        return cls(**kwargs)
+
 
 @dataclass(frozen=True)
 class SweepReport:
@@ -381,6 +474,87 @@ class SweepReport:
             lines.append(f"  - {failure.describe()}")
         return "\n".join(lines)
 
+    def to_json(self) -> Dict[str, object]:
+        """A schema-versioned JSON dict; inverse of :meth:`from_json`.
+
+        Result entries are ordered by plan cache key so the serialized
+        form is independent of completion order -- a crashed sweep's
+        manifest and its resumed rerun serialize identically.
+        """
+        ordered = sorted(self.results.items(),
+                         key=lambda item: item[0].cache_key())
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "results": [
+                {"plan": plan.to_dict(), "run": _run_to_json(run)}
+                for plan, run in ordered
+            ],
+            "failures": [failure.to_json() for failure in self.failures],
+            "summary": asdict(self.summary),
+        }
+
+    @classmethod
+    def from_json(cls, data: object) -> "SweepReport":
+        """Rebuild a report written by :meth:`to_json`.
+
+        Raises ``ValueError`` on a version mismatch or malformed
+        payload -- a manifest from a future schema must never be
+        half-parsed into a resumable state.
+        """
+        if not isinstance(data, dict):
+            raise ValueError("sweep report must be a JSON object")
+        version = data.get("schema_version")
+        if version != REPORT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported sweep report schema_version {version!r} "
+                f"(this build reads version {REPORT_SCHEMA_VERSION})"
+            )
+        raw_results = data.get("results")
+        raw_failures = data.get("failures")
+        if not isinstance(raw_results, list) or not isinstance(
+                raw_failures, list):
+            raise ValueError("sweep report results/failures must be lists")
+        results: Dict[ExperimentPlan, BenchmarkRun] = {}
+        for entry in raw_results:
+            if not isinstance(entry, dict):
+                raise ValueError(f"malformed result entry: {entry!r}")
+            plan = ExperimentPlan.from_dict(entry.get("plan"))
+            results[plan] = _run_from_json(entry.get("run"))
+        failures = tuple(RunFailure.from_json(entry)
+                         for entry in raw_failures)
+        return cls(results=results, failures=failures,
+                   summary=SweepSummary.from_json(data.get("summary")))
+
+    @property
+    def unfinished_plans(self) -> Tuple[ExperimentPlan, ...]:
+        """Plans a resumed sweep still has to run (manifest order)."""
+        return tuple(failure.plan for failure in self.failures)
+
+
+def _run_to_json(run: BenchmarkRun) -> Dict[str, object]:
+    return {
+        "benchmark": run.benchmark,
+        "instructions": run.instructions,
+        "cycles": run.cycles,
+        "interconnect_dynamic": run.interconnect_dynamic,
+        "interconnect_leakage": run.interconnect_leakage,
+        "extra": [list(pair) for pair in run.extra],
+    }
+
+
+def _run_from_json(data: object) -> BenchmarkRun:
+    validated = ResultCache._validate(data)
+    if validated is None:
+        raise ValueError(f"malformed benchmark-run entry: {data!r}")
+    return BenchmarkRun(
+        benchmark=validated["benchmark"],
+        instructions=validated["instructions"],
+        cycles=validated["cycles"],
+        interconnect_dynamic=validated["interconnect_dynamic"],
+        interconnect_leakage=validated["interconnect_leakage"],
+        extra=tuple((k, v) for k, v in validated.get("extra", [])),
+    )
+
 
 class SweepError(RuntimeError):
     """A sweep in raise-mode finished with failures.
@@ -400,10 +574,14 @@ class ExperimentRunner:
     ``workers`` sets the default process fan-out for
     :meth:`run_many`; 1 (the default) keeps everything in-process.
     ``run_timeout`` (seconds) bounds each run's wall clock;
-    ``max_retries`` retries crashed/timed-out workers with exponential
-    backoff (``retry_backoff * 2**attempt`` seconds) before declaring
-    the run failed.  Setting a timeout forces every run into its own
-    worker process so a wedged simulation can actually be killed.
+    ``max_retries`` retries crashed/timed-out workers with seeded
+    decorrelated-jitter backoff (base ``retry_backoff`` seconds,
+    capped at ``retry_backoff_cap``; see
+    :mod:`repro.harness.backoff`) before declaring the run failed.
+    Jitter keeps herds of retrying workers from synchronizing while
+    staying a pure function of each plan, so replayed sweeps retry on
+    identical schedules.  Setting a timeout forces every run into its
+    own worker process so a wedged simulation can actually be killed.
     """
 
     def __init__(self, cache: Optional[ResultCache] = None,
@@ -411,6 +589,7 @@ class ExperimentRunner:
                  run_timeout: Optional[float] = None,
                  max_retries: int = 0,
                  retry_backoff: float = 0.25,
+                 retry_backoff_cap: float = 30.0,
                  profiler: Optional[HarnessProfiler] = None) -> None:
         if run_timeout is not None and run_timeout <= 0:
             raise ValueError("run_timeout must be positive seconds")
@@ -418,6 +597,8 @@ class ExperimentRunner:
             raise ValueError("max_retries must be non-negative")
         if retry_backoff < 0:
             raise ValueError("retry_backoff must be non-negative")
+        if retry_backoff_cap < retry_backoff:
+            raise ValueError("retry_backoff_cap must be >= retry_backoff")
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.cache = cache or ResultCache(profiler=self.profiler)
         if profiler is not None and self.cache.profiler is NULL_PROFILER:
@@ -428,6 +609,7 @@ class ExperimentRunner:
         self.run_timeout = run_timeout
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        self.retry_backoff_cap = retry_backoff_cap
         self.executed = 0
         self.cache_hits = 0
         self.total_duration = 0.0
@@ -492,6 +674,7 @@ class ExperimentRunner:
         models: Optional[Mapping[ExperimentPlan, InterconnectModel]] = None,
         run_timeout: Optional[float] = None,
         max_retries: Optional[int] = None,
+        cancel: Optional[threading.Event] = None,
     ) -> SweepReport:
         """Like :meth:`run_many`, but never raises on worker failure.
 
@@ -499,6 +682,12 @@ class ExperimentRunner:
         and erroring plans land in ``report.failures`` after
         ``max_retries`` retry rounds.  Sets :attr:`last_summary` and
         :attr:`last_report`.
+
+        ``cancel`` (a :class:`threading.Event`, settable from another
+        thread) aborts the sweep cooperatively: active worker
+        processes are terminated and every unfinished plan lands in
+        the manifest with reason ``"cancelled"``.  Completed results
+        are kept -- a cancelled sweep is resumable, not lost.
         """
         workers = self.workers if workers is None else max(1, workers)
         run_timeout = (self.run_timeout if run_timeout is None
@@ -532,10 +721,18 @@ class ExperimentRunner:
             # in-process and cheap.
             if run_timeout is not None or (workers > 1 and len(misses) > 1):
                 outcomes = self._run_isolated(
-                    misses, models, workers, run_timeout, max_retries)
+                    misses, models, workers, run_timeout, max_retries,
+                    cancel=cancel)
             else:
                 outcomes = {}
                 for plan in misses:
+                    if cancel is not None and cancel.is_set():
+                        outcomes[plan] = RunFailure(
+                            plan=plan, reason="cancelled",
+                            detail="sweep cancelled before launch",
+                            attempts=0,
+                        )
+                        continue
                     try:
                         with prof.span("run.execute", category="run",
                                        plan=plan.describe()):
@@ -592,14 +789,16 @@ class ExperimentRunner:
         workers: int,
         run_timeout: Optional[float],
         max_retries: int,
+        cancel: Optional[threading.Event] = None,
     ) -> Dict[ExperimentPlan, object]:
         """Execute plans in one killable process each.
 
         Schedules up to ``workers`` concurrent worker processes; a
         worker that exceeds ``run_timeout`` is terminated, a worker
         that dies without reporting is detected via its exit code, and
-        both are retried with exponential backoff up to ``max_retries``
-        times.  Returns plan -> (run, duration) | RunFailure.
+        both are retried with seeded decorrelated-jitter backoff up to
+        ``max_retries`` times.  Returns plan -> (run, duration) |
+        RunFailure.
         """
         ctx = multiprocessing.get_context()
         prof = self.profiler
@@ -609,6 +808,9 @@ class ExperimentRunner:
         active: Dict[ExperimentPlan, tuple] = {}
         # Launch timestamps on the profiler clock, for worker spans.
         launched_at: Dict[ExperimentPlan, float] = {}
+        # Per-plan retry schedules, seeded from the plan so replays
+        # back off identically while distinct plans stay decorrelated.
+        backoffs: Dict[ExperimentPlan, DecorrelatedJitter] = {}
 
         def close_span(plan, attempt, outcome):
             if not prof.enabled:
@@ -623,7 +825,13 @@ class ExperimentRunner:
 
         def finish(plan, attempt, reason, detail):
             if reason in ("timeout", "crash") and attempt < max_retries:
-                delay = self.retry_backoff * (2 ** attempt)
+                schedule = backoffs.get(plan)
+                if schedule is None:
+                    schedule = backoffs[plan] = DecorrelatedJitter(
+                        self.retry_backoff, cap=self.retry_backoff_cap,
+                        seed=plan.seed, key=plan.cache_key(),
+                    )
+                delay = schedule.next()
                 if self.verbose:
                     print(f"  retrying {plan.describe()} after {reason} "
                           f"(attempt {attempt + 2}, backoff {delay:.2f}s)",
@@ -636,6 +844,28 @@ class ExperimentRunner:
                 )
 
         while ready or active:
+            if cancel is not None and cancel.is_set():
+                # Cooperative abort: kill live workers, mark everything
+                # unfinished as cancelled; completed outcomes survive.
+                for plan, (proc, recv, _started, attempt) in active.items():
+                    proc.terminate()
+                    proc.join()
+                    recv.close()
+                    close_span(plan, attempt, "cancelled")
+                    outcomes[plan] = RunFailure(
+                        plan=plan, reason="cancelled",
+                        detail="sweep cancelled while running",
+                        attempts=attempt + 1,
+                    )
+                active.clear()
+                for plan, attempt, _not_before in ready:
+                    outcomes[plan] = RunFailure(
+                        plan=plan, reason="cancelled",
+                        detail="sweep cancelled before launch",
+                        attempts=attempt,
+                    )
+                ready.clear()
+                break
             now = time.monotonic()
             # Launch as many ready plans as there are free slots.
             for _ in range(len(ready)):

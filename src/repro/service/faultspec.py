@@ -1,0 +1,167 @@
+"""Service-level chaos specifications: what can go wrong in the server.
+
+A :class:`ServiceFaultSpec` mirrors :class:`repro.faults.FaultSpec`
+one layer up: a declarative, hashable description of the faults
+injected into the *sweep service* rather than into the simulated
+wires.  It exists so the chaos tests (and the CI ``service-smoke``
+job) can kill workers, stall the dispatcher and drop client
+connections deterministically -- every injected fault is a pure
+function of the spec, never of timing or randomness.
+
+* ``kill_runs`` -- 1-based indices into a job's plan list whose
+  *first* execution attempt dies with ``os._exit`` (a worker crash:
+  the retry/backoff machinery and the circuit breaker see exactly
+  what a segfaulting simulator would produce).
+* ``wedge_runs`` -- indices whose first attempt hangs until the
+  runner's ``run_timeout`` kills it (the timeout path).
+* ``fail_runs`` -- indices that raise on *every* attempt (a
+  deterministic simulator bug: lands in the manifest unretried).
+* ``stall_dispatch`` -- seconds the dispatcher sleeps before starting
+  each job, so admission-queue saturation is reachable in tests.
+* ``drop_conns`` -- 1-based indices of accepted connections the
+  server closes before writing a response (mid-request client/server
+  disconnect).
+
+Specs round-trip through a compact canonical string
+(``"kill-run=1;wedge-run=3;stall-dispatch=0.5;drop-conn=2"``) so they
+can ride in the ``repro serve --service-faults`` CLI flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class ServiceFaultSpecError(ValueError):
+    """A service fault specification is malformed."""
+
+
+def _parse_indices(value: str, clause: str) -> Tuple[int, ...]:
+    indices = []
+    for item in value.split(","):
+        try:
+            index = int(item)
+        except ValueError:
+            raise ServiceFaultSpecError(
+                f"{clause} expects 1-based run indices, got {item!r}"
+            ) from None
+        if index < 1:
+            raise ServiceFaultSpecError(
+                f"{clause} indices are 1-based and positive, got {index}"
+            )
+        indices.append(index)
+    return tuple(sorted(set(indices)))
+
+
+@dataclass(frozen=True)
+class ServiceFaultSpec:
+    """Everything injected into one service instance; hashable."""
+
+    kill_runs: Tuple[int, ...] = ()
+    wedge_runs: Tuple[int, ...] = ()
+    fail_runs: Tuple[int, ...] = ()
+    stall_dispatch: float = 0.0
+    drop_conns: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.stall_dispatch < 0:
+            raise ServiceFaultSpecError(
+                "stall-dispatch must be non-negative seconds"
+            )
+        for name in ("kill_runs", "wedge_runs", "fail_runs",
+                     "drop_conns"):
+            indices = getattr(self, name)
+            if any(index < 1 for index in indices):
+                raise ServiceFaultSpecError(
+                    f"{name} indices are 1-based and positive"
+                )
+        overlap = (set(self.kill_runs) & set(self.wedge_runs)
+                   | set(self.kill_runs) & set(self.fail_runs)
+                   | set(self.wedge_runs) & set(self.fail_runs))
+        if overlap:
+            raise ServiceFaultSpecError(
+                f"run index(es) {sorted(overlap)} appear in more than "
+                f"one of kill-run/wedge-run/fail-run"
+            )
+
+    @property
+    def is_null(self) -> bool:
+        """True when the spec injects nothing at all."""
+        return (not self.kill_runs and not self.wedge_runs
+                and not self.fail_runs and self.stall_dispatch == 0.0
+                and not self.drop_conns)
+
+    def canonical(self) -> str:
+        """Normalized string form; equal specs render identically."""
+        clauses = []
+        for key, indices in (("kill-run", self.kill_runs),
+                             ("wedge-run", self.wedge_runs),
+                             ("fail-run", self.fail_runs)):
+            if indices:
+                clauses.append(
+                    key + "=" + ",".join(str(i) for i in sorted(indices)))
+        if self.stall_dispatch:
+            clauses.append(f"stall-dispatch={self.stall_dispatch:g}")
+        if self.drop_conns:
+            clauses.append("drop-conn=" + ",".join(
+                str(i) for i in sorted(self.drop_conns)))
+        return ";".join(clauses)
+
+    @classmethod
+    def parse(cls, text: str) -> "ServiceFaultSpec":
+        """Parse the canonical clause syntax; raises on malformed input.
+
+        Clauses are semicolon-separated ``key=value`` pairs::
+
+            kill-run=1,2          kill first attempt of plans 1 and 2
+            wedge-run=3           hang first attempt of plan 3
+            fail-run=4            raise on every attempt of plan 4
+            stall-dispatch=0.5    dispatcher sleeps 0.5s per job
+            drop-conn=2           drop the 2nd accepted connection
+        """
+        kill: Tuple[int, ...] = ()
+        wedge: Tuple[int, ...] = ()
+        fail: Tuple[int, ...] = ()
+        stall = 0.0
+        drop: Tuple[int, ...] = ()
+        for raw in text.split(";"):
+            clause = raw.strip()
+            if not clause:
+                continue
+            key, sep, value = clause.partition("=")
+            if not sep or not value:
+                raise ServiceFaultSpecError(
+                    f"malformed service fault clause {clause!r}; "
+                    f"expected key=value (e.g. kill-run=1)"
+                )
+            key = key.strip().lower()
+            value = value.strip()
+            if key == "kill-run":
+                kill = _parse_indices(value, "kill-run")
+            elif key == "wedge-run":
+                wedge = _parse_indices(value, "wedge-run")
+            elif key == "fail-run":
+                fail = _parse_indices(value, "fail-run")
+            elif key == "stall-dispatch":
+                try:
+                    stall = float(value)
+                except ValueError:
+                    raise ServiceFaultSpecError(
+                        f"stall-dispatch must be a number of seconds, "
+                        f"got {value!r}"
+                    ) from None
+            elif key == "drop-conn":
+                drop = _parse_indices(value, "drop-conn")
+            else:
+                raise ServiceFaultSpecError(
+                    f"unknown service fault clause {key!r}; expected "
+                    f"one of kill-run, wedge-run, fail-run, "
+                    f"stall-dispatch, drop-conn"
+                )
+        return cls(kill_runs=kill, wedge_runs=wedge, fail_runs=fail,
+                   stall_dispatch=stall, drop_conns=drop)
+
+
+#: The no-fault spec, for callers that want an explicit default.
+NULL_SERVICE_FAULTS = ServiceFaultSpec()

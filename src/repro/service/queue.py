@@ -1,0 +1,125 @@
+"""Bounded, prioritised admission queue with explicit backpressure.
+
+The service's first robustness rule is "never unbounded memory": a
+burst of submissions past ``capacity`` is *rejected at admission* with
+a ``Retry-After`` hint, not buffered.  The queue is a binary heap of
+``(-priority, admission_seq)`` entries -- higher priority dequeues
+first, FIFO within a priority level -- designed for the single-loop
+asyncio server: producers call :meth:`put` from request handlers, the
+one dispatcher consumer awaits :meth:`get`.
+
+The ``Retry-After`` hint scales with queue depth and an EWMA of
+recent job service times (seeded with ``drain_hint`` seconds), so a
+client that honours it comes back roughly when its slot would clear
+rather than hammering a saturated server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import math
+from typing import List, Optional, Tuple
+
+from ..telemetry import NULL_TELEMETRY, Telemetry
+
+
+class QueueFullError(Exception):
+    """Admission rejected: the queue is at capacity.
+
+    ``retry_after`` is the whole number of seconds the client should
+    wait before resubmitting (the HTTP ``Retry-After`` header value).
+    """
+
+    def __init__(self, depth: int, capacity: int,
+                 retry_after: int) -> None:
+        super().__init__(
+            f"admission queue full ({depth}/{capacity} jobs); "
+            f"retry in {retry_after}s"
+        )
+        self.depth = depth
+        self.capacity = capacity
+        self.retry_after = retry_after
+
+
+class AdmissionQueue:
+    """A bounded priority queue for job ids (or any hashable items)."""
+
+    def __init__(self, capacity: int, drain_hint: float = 2.0,
+                 telemetry: Optional[Telemetry] = None) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        if drain_hint <= 0:
+            raise ValueError("drain_hint must be positive seconds")
+        self.capacity = capacity
+        self._heap: List[Tuple[int, int, object]] = []
+        self._seq = 0
+        self._service_time = drain_hint  # EWMA of job durations
+        self._not_empty = asyncio.Event()
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
+        self.rejected = 0
+
+    @property
+    def depth(self) -> int:
+        return len(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def retry_after(self) -> int:
+        """Suggested client wait, in whole seconds, at current depth."""
+        estimate = (self.depth + 1) * self._service_time
+        return max(1, min(120, math.ceil(estimate)))
+
+    def observe_service_time(self, seconds: float) -> None:
+        """Fold one completed job's duration into the drain estimate."""
+        if seconds > 0:
+            self._service_time += 0.3 * (seconds - self._service_time)
+
+    def put(self, item: object, priority: int = 0,
+            force: bool = False) -> None:
+        """Admit ``item``, or raise :class:`QueueFullError`.
+
+        Rejection happens *before* anything is stored, so sustained
+        over-admission costs O(1) memory per attempt.  ``force``
+        bypasses the capacity check -- reserved for items that already
+        hold an admission slot (restart resume, job-level requeues),
+        never for new submissions.
+        """
+        if not force and len(self._heap) >= self.capacity:
+            self.rejected += 1
+            self.telemetry.count("service.jobs_rejected")
+            raise QueueFullError(self.depth, self.capacity,
+                                 self.retry_after())
+        self._seq += 1
+        heapq.heappush(self._heap, (-priority, self._seq, item))
+        self._not_empty.set()
+        self._gauge()
+
+    def remove(self, item: object) -> bool:
+        """Withdraw a queued item (job cancellation); True if found."""
+        for index, (_neg, _seq, queued) in enumerate(self._heap):
+            if queued == item:
+                self._heap[index] = self._heap[-1]
+                self._heap.pop()
+                heapq.heapify(self._heap)
+                if not self._heap:
+                    self._not_empty.clear()
+                self._gauge()
+                return True
+        return False
+
+    async def get(self) -> object:
+        """Await the highest-priority item (FIFO within a priority)."""
+        while not self._heap:
+            self._not_empty.clear()
+            await self._not_empty.wait()
+        _neg, _seq, item = heapq.heappop(self._heap)
+        if not self._heap:
+            self._not_empty.clear()
+        self._gauge()
+        return item
+
+    def _gauge(self) -> None:
+        self.telemetry.set_gauge("service.queue_depth", self.depth)

@@ -7,7 +7,10 @@ NACK/retransmission, a plane kill, a cache hit level -- is one
 tuple of attributes.  Events are immutable and JSON-serializable; the
 category mapping groups kinds into the buckets the Chrome-trace export
 and the sweep aggregation report on (``wire-selection``, ``overflow``,
-``fault``, ``cache``, ``network``, ``steering``, ``run``).
+``fault``, ``cache``, ``network``, ``steering``, ``run``,
+``service``).  The ``service`` kinds are emitted by the sweep job
+server (:mod:`repro.service`), which stamps them with a logical
+admission tick instead of a simulator cycle.
 
 Determinism: an event is a pure function of simulator state -- no wall
 clock, no process identity.  Timestamps are *cycles*, and a correctly
@@ -54,6 +57,16 @@ class EventKind(enum.Enum):
     REROUTE = "reroute"
     #: A load was satisfied at some level of the memory hierarchy.
     CACHE_ACCESS = "cache_access"
+    #: Sweep service: a job passed admission control onto the queue.
+    JOB_ADMITTED = "job_admitted"
+    #: Sweep service: a job with retryable failures was requeued.
+    JOB_RETRY = "job_retry"
+    #: Sweep service: worker crash rate tripped the circuit breaker
+    #: (degraded to cache-only mode).
+    BREAKER_OPEN = "breaker_open"
+    #: Sweep service: a half-open probe succeeded; normal execution
+    #: resumed.
+    BREAKER_CLOSE = "breaker_close"
 
 
 #: Category each kind reports under (Chrome-trace ``cat`` field).
@@ -71,6 +84,10 @@ EVENT_CATEGORY: Dict[EventKind, str] = {
     EventKind.RETRY_ESCALATION: "fault",
     EventKind.REROUTE: "fault",
     EventKind.CACHE_ACCESS: "cache",
+    EventKind.JOB_ADMITTED: "service",
+    EventKind.JOB_RETRY: "service",
+    EventKind.BREAKER_OPEN: "service",
+    EventKind.BREAKER_CLOSE: "service",
 }
 
 #: The categories every simulator trace may contain.

@@ -1,0 +1,135 @@
+"""SIM107: asyncio task/cancellation hygiene, positive and negative."""
+
+
+class TestSIM107DiscardedTask:
+    def test_flags_fire_and_forget_create_task(self, lint_tree):
+        result = lint_tree({"src/repro/service/x.py": """\
+            import asyncio
+
+            async def kick(work):
+                asyncio.create_task(work())
+            """}, select={"SIM107"})
+        assert [f.code for f in result.findings] == ["SIM107"]
+        assert "garbage-collected" in result.findings[0].message
+
+    def test_flags_loop_method_form(self, lint_tree):
+        result = lint_tree({"src/repro/service/x.py": """\
+            import asyncio
+
+            async def kick(work):
+                loop = asyncio.get_running_loop()
+                loop.create_task(work())
+            """}, select={"SIM107"})
+        assert [f.code for f in result.findings] == ["SIM107"]
+
+    def test_kept_reference_is_fine(self, lint_tree):
+        result = lint_tree({"src/repro/service/x.py": """\
+            import asyncio
+
+            TASKS = set()
+
+            async def kick(work):
+                task = asyncio.create_task(work())
+                TASKS.add(task)
+                task.add_done_callback(TASKS.discard)
+                return task
+            """}, select={"SIM107"})
+        assert result.findings == []
+
+    def test_task_passed_as_argument_is_fine(self, lint_tree):
+        result = lint_tree({"src/repro/service/x.py": """\
+            import asyncio
+
+            async def kick(track, work):
+                track(asyncio.create_task(work()))
+            """}, select={"SIM107"})
+        assert result.findings == []
+
+    def test_fires_in_tests_too(self, lint_tree):
+        result = lint_tree({"tests/test_x.py": """\
+            import asyncio
+
+            async def test_kick(work):
+                asyncio.create_task(work())
+            """}, select={"SIM107"})
+        assert [f.code for f in result.findings] == ["SIM107"]
+
+
+class TestSIM107SwallowedCancellation:
+    def test_flags_swallowed_cancellation(self, lint_tree):
+        result = lint_tree({"src/repro/service/x.py": """\
+            import asyncio
+
+            async def drain(task):
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+            """}, select={"SIM107"})
+        assert [f.code for f in result.findings] == ["SIM107"]
+        assert "wedges graceful shutdown" in result.findings[0].message
+
+    def test_flags_bare_name_and_tuple_forms(self, lint_tree):
+        result = lint_tree({"src/repro/service/x.py": """\
+            from asyncio import CancelledError
+
+            async def drain(task, log):
+                try:
+                    await task
+                except CancelledError:
+                    log("cancelled")
+                try:
+                    await task
+                except (RuntimeError, CancelledError):
+                    log("either")
+            """}, select={"SIM107"})
+        assert [f.code for f in result.findings] == ["SIM107", "SIM107"]
+
+    def test_cleanup_then_reraise_is_fine(self, lint_tree):
+        result = lint_tree({"src/repro/service/x.py": """\
+            import asyncio
+
+            async def drain(task, release):
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    release()
+                    raise
+            """}, select={"SIM107"})
+        assert result.findings == []
+
+    def test_other_exceptions_are_not_flagged(self, lint_tree):
+        result = lint_tree({"src/repro/service/x.py": """\
+            async def drain(task, log):
+                try:
+                    await task
+                except RuntimeError as exc:
+                    log(exc)
+            """}, select={"SIM107"})
+        assert result.findings == []
+
+    def test_inline_suppression_with_rationale(self, lint_tree):
+        result = lint_tree({"src/repro/service/x.py": """\
+            import asyncio
+
+            async def shutdown(task):
+                # Top-level shutdown boundary: the loop is about to
+                # close, there is nothing left to propagate to.
+                try:
+                    await task
+                except asyncio.CancelledError:  # simlint: disable=SIM107
+                    pass
+            """}, select={"SIM107"})
+        assert result.findings == []
+
+
+class TestSIM107ServicePackageIsClean:
+    def test_real_service_package_passes(self, repo_lint=None):
+        from pathlib import Path
+
+        from repro.analysis import lint_paths
+
+        root = Path(__file__).resolve().parents[2]
+        service = root / "src" / "repro" / "service"
+        result = lint_paths([service], select={"SIM107"}, root=root)
+        assert result.findings == []

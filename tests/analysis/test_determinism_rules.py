@@ -84,6 +84,18 @@ class TestSIM102WallClock:
             """}, select={"SIM102"})
         assert result.findings == []
 
+    def test_service_timing_paths_are_exempt(self, lint_tree):
+        """Backoff schedules, breaker cooldowns and queue drain
+        estimates are wall-clock concerns by design: the sweep
+        service package sits outside the simulator's purity rule."""
+        result = lint_tree({"src/repro/service/x.py": """\
+            import time
+
+            def deadline(budget):
+                return time.monotonic() + budget
+            """}, select={"SIM102"})
+        assert result.findings == []
+
     def test_telemetry_package_is_not_exempt(self, lint_tree):
         """Cycle-stamped tracing must stay wall-clock-free: the telemetry
         package is simulator code, not harness code, under SIM102."""

@@ -1,0 +1,67 @@
+"""ServiceFaultSpec: parse/canonical round-trips and validation."""
+
+import pytest
+
+from repro.service import (
+    NULL_SERVICE_FAULTS,
+    ServiceFaultSpec,
+    ServiceFaultSpecError,
+)
+
+
+class TestParse:
+    def test_full_spec_round_trips(self):
+        text = ("kill-run=1,2;wedge-run=3;fail-run=4;"
+                "stall-dispatch=0.5;drop-conn=2")
+        spec = ServiceFaultSpec.parse(text)
+        assert spec.kill_runs == (1, 2)
+        assert spec.wedge_runs == (3,)
+        assert spec.fail_runs == (4,)
+        assert spec.stall_dispatch == 0.5
+        assert spec.drop_conns == (2,)
+        assert spec.canonical() == text
+        assert ServiceFaultSpec.parse(spec.canonical()) == spec
+
+    def test_indices_are_sorted_and_deduped(self):
+        spec = ServiceFaultSpec.parse("kill-run=3,1,3")
+        assert spec.kill_runs == (1, 3)
+        assert spec.canonical() == "kill-run=1,3"
+
+    def test_empty_and_whitespace_specs_are_null(self):
+        assert ServiceFaultSpec.parse("").is_null
+        assert ServiceFaultSpec.parse(" ; ; ").is_null
+        assert NULL_SERVICE_FAULTS.is_null
+        assert NULL_SERVICE_FAULTS.canonical() == ""
+
+    def test_specs_are_hashable_and_comparable(self):
+        a = ServiceFaultSpec.parse("kill-run=1")
+        b = ServiceFaultSpec(kill_runs=(1,))
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize("text", [
+        "kill-run=0",
+        "kill-run=-2",
+        "wedge-run=x",
+        "stall-dispatch=soon",
+        "stall-dispatch=-1",
+        "kill-run",
+        "kill-run=",
+        "explode=1",
+    ])
+    def test_malformed_clauses_raise(self, text):
+        with pytest.raises(ServiceFaultSpecError):
+            ServiceFaultSpec.parse(text)
+
+    def test_overlapping_modes_raise(self):
+        with pytest.raises(ServiceFaultSpecError,
+                           match="more than one"):
+            ServiceFaultSpec.parse("kill-run=2;fail-run=2")
+        with pytest.raises(ServiceFaultSpecError):
+            ServiceFaultSpec(kill_runs=(1,), wedge_runs=(1,))
+
+    def test_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            ServiceFaultSpec.parse("kill-run=0")

@@ -1,0 +1,122 @@
+"""JobRecord / JobStore: idempotent ids, durable round-trips."""
+
+import json
+
+import pytest
+
+from repro.harness.runner import ExperimentPlan
+from repro.service import JOB_SCHEMA_VERSION, JobRecord, JobStore, job_id_for
+from repro.service.jobs import DONE, QUEUED, RUNNING
+
+
+def plan_for(benchmark, model="I", **overrides):
+    kwargs = dict(instructions=300, warmup=80)
+    kwargs.update(overrides)
+    return ExperimentPlan(model, benchmark, **kwargs)
+
+
+def make_record(*benchmarks, **kwargs):
+    plans = tuple(plan_for(b) for b in (benchmarks or ("gzip",)))
+    kwargs.setdefault("job_id", job_id_for(plans))
+    return JobRecord(plans=plans, **kwargs)
+
+
+class TestJobIdentity:
+    def test_id_is_order_insensitive(self):
+        a = (plan_for("gzip"), plan_for("mesa"))
+        b = (plan_for("mesa"), plan_for("gzip"))
+        assert job_id_for(a) == job_id_for(b)
+
+    def test_id_tracks_plan_content(self):
+        assert job_id_for((plan_for("gzip"),)) != \
+            job_id_for((plan_for("gzip", seed=7),))
+
+    def test_priority_is_not_identity(self):
+        plans = (plan_for("gzip"),)
+        low = JobRecord(job_id=job_id_for(plans), plans=plans, priority=0)
+        high = JobRecord(job_id=job_id_for(plans), plans=plans, priority=9)
+        assert low.job_id == high.job_id
+
+
+class TestRecordRoundTrip:
+    def test_round_trips_through_json(self):
+        record = make_record("gzip", "mesa", priority=3,
+                             retry_budget=2, attempts=1, state=RUNNING)
+        clone = JobRecord.from_json(
+            json.loads(json.dumps(record.to_json())))
+        assert clone == record
+
+    def test_version_mismatch_rejected(self):
+        data = make_record().to_json()
+        data["schema_version"] = JOB_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            JobRecord.from_json(data)
+
+    def test_tampered_plans_are_refused(self):
+        """A record whose plans no longer hash to its id must not
+        resume: silently running different plans under an old job id
+        would poison the dedup map."""
+        data = make_record("gzip").to_json()
+        data["plans"][0]["seed"] = 999
+        with pytest.raises(ValueError, match="tampered"):
+            JobRecord.from_json(data)
+
+    @pytest.mark.parametrize("mutate", [
+        lambda d: d.pop("plans"),
+        lambda d: d.update(plans=[]),
+        lambda d: d.update(job_id=""),
+        lambda d: d.update(report="not-a-dict"),
+        lambda d: d.update(state="exploded"),
+    ])
+    def test_malformed_records_are_refused(self, mutate):
+        data = make_record().to_json()
+        mutate(data)
+        with pytest.raises(ValueError):
+            JobRecord.from_json(data)
+
+    def test_public_json_carries_summary_not_plans(self):
+        record = make_record("gzip", state=DONE)
+        record.report = {"summary": {"executed": 1}}
+        public = record.public_json()
+        assert public["summary"] == {"executed": 1}
+        assert public["plans"] == 1  # a count, not the plan bodies
+
+
+class TestJobStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = JobStore(tmp_path / "jobs")
+        record = make_record("gzip", "mesa", state=QUEUED)
+        store.save(record)
+        assert store.load(record.job_id) == record
+
+    def test_missing_and_corrupt_load_as_none(self, tmp_path):
+        store = JobStore(tmp_path / "jobs")
+        assert store.load("nope") is None
+        store.directory.mkdir(parents=True)
+        (store.directory / "bad.json").write_text("{not json")
+        assert store.load("bad") is None
+
+    def test_scan_skips_corrupt_and_sorts(self, tmp_path):
+        store = JobStore(tmp_path / "jobs")
+        records = [make_record("gzip"), make_record("mesa"),
+                   make_record("art", state=DONE)]
+        for record in records:
+            store.save(record)
+        (store.directory / "junk.json").write_text("[]")
+        scanned = store.scan()
+        assert sorted(r.job_id for r in scanned) == \
+            sorted(r.job_id for r in records)
+
+    def test_resumable_excludes_terminal_states(self, tmp_path):
+        store = JobStore(tmp_path / "jobs")
+        store.save(make_record("gzip", state=QUEUED))
+        store.save(make_record("mesa", state=RUNNING))
+        store.save(make_record("art", state=DONE))
+        states = sorted(r.state for r in store.resumable())
+        assert states == [QUEUED, RUNNING]
+
+    def test_validation_at_construction(self):
+        with pytest.raises(ValueError):
+            JobRecord(job_id="x", plans=())
+        with pytest.raises(ValueError):
+            make_record(retry_budget=-1)
