@@ -33,17 +33,30 @@ _DISABLE_RE = re.compile(
 )
 
 
-def parse_suppressions(source: str) -> Dict[int, Set[str]]:
-    """Map line number -> set of suppression patterns for ``source``.
+def parse_suppressions(source: str
+                       ) -> Tuple[Dict[int, Set[str]], Optional[str]]:
+    """Map line number -> suppression patterns, plus a tokenize error.
 
     Patterns are uppercased verbatim tokens (``SIM101``, ``SIM3XX``,
     ``ALL``); wildcard matching happens in :func:`suppressed`.
+
+    Returns ``(suppressions, error)``.  When the token stream cannot
+    be read at all, ``error`` carries a description and the map is
+    empty -- the caller must surface that (SIM002), because a file
+    whose suppressions silently vanish would re-report every
+    deliberately-suppressed finding (or worse, pass a gate its author
+    thought was suppressed for a *reason* that no longer parses).
     """
     suppressions: Dict[int, Set[str]] = {}
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
-    except (tokenize.TokenError, SyntaxError, IndentationError):
-        return suppressions
+    except (tokenize.TokenError, SyntaxError,
+            IndentationError) as exc:
+        return suppressions, (
+            f"suppression comments unreadable "
+            f"({type(exc).__name__}: {exc}); inline disables in this "
+            f"file are being ignored"
+        )
     # Lines that hold nothing but a comment (plus whitespace/NL).
     code_lines: Set[int] = set()
     for tok in tokens:
@@ -74,7 +87,7 @@ def parse_suppressions(source: str) -> Dict[int, Set[str]]:
                 default=line,
             )
         suppressions.setdefault(line, set()).update(codes)
-    return suppressions
+    return suppressions, None
 
 
 def suppressed(code: str, patterns: Set[str]) -> bool:
@@ -99,6 +112,8 @@ class FileContext:
     source: str
     tree: ast.AST
     suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    #: Why suppressions could not be read (SIM002), if they couldn't.
+    suppression_error: Optional[str] = None
     _parents: Optional[Dict[ast.AST, ast.AST]] = None
 
     # -- path scoping ----------------------------------------------------
@@ -117,6 +132,11 @@ class FileContext:
     def in_service(self) -> bool:
         """Inside the sweep service (wall-clock timeouts are its job)."""
         return self.rel.startswith("src/repro/service/")
+
+    @property
+    def in_analysis(self) -> bool:
+        """Inside the analyzer itself (no simulated numbers here)."""
+        return self.rel.startswith("src/repro/analysis/")
 
     @property
     def in_tests(self) -> bool:
@@ -157,10 +177,12 @@ def load_context(path: Path, rel: str) -> Tuple[Optional[FileContext],
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
         return None, f"syntax error: {exc.msg} (line {exc.lineno})"
+    suppressions, supp_error = parse_suppressions(source)
     return FileContext(
         path=path,
         rel=rel,
         source=source,
         tree=tree,
-        suppressions=parse_suppressions(source),
+        suppressions=suppressions,
+        suppression_error=supp_error,
     ), None

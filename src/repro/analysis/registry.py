@@ -1,10 +1,20 @@
 """The rule registry.
 
-A rule is a callable ``(FileContext) -> Iterable[Finding]`` registered
-under a unique ``SIMxxx`` code.  Registration happens at import time of
-:mod:`repro.analysis.rules`; the engine iterates :func:`all_rules`.
-Codes group into families by their hundreds digit (SIM1xx determinism,
-SIM2xx cache keys, SIM3xx exceptions, SIM4xx model hygiene).
+Two kinds of rule register here:
+
+* **file rules** -- callables ``(FileContext) -> Iterable[Finding]``
+  via :func:`register`; they see one file at a time and run inside the
+  (possibly parallel) per-file phase.
+* **project rules** -- callables ``(ProjectContext) ->
+  Iterable[Finding]`` via :func:`register_project`; they run after the
+  linker has built the import/call graphs and may reason across
+  modules.
+
+Registration happens at import time of :mod:`repro.analysis.rules`;
+the engine iterates :func:`file_rules` / :func:`project_rules`.  Codes
+group into families by their hundreds digit (SIM1xx determinism,
+SIM2xx cache keys, SIM3xx exceptions, SIM4xx model hygiene, SIM5xx
+seed provenance, SIM6xx physical units, SIM8xx async blocking).
 """
 
 from __future__ import annotations
@@ -13,12 +23,14 @@ import re
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional
 
-from .context import FileContext
 from .findings import Finding
 
 _CODE_RE = re.compile(r"^SIM\d{3}$")
 
-RuleFunc = Callable[[FileContext], Iterable[Finding]]
+RuleFunc = Callable[..., Iterable[Finding]]
+
+FILE_RULE = "file"
+PROJECT_RULE = "project"
 
 
 @dataclass(frozen=True)
@@ -28,6 +40,7 @@ class Rule:
     code: str
     summary: str
     check: RuleFunc
+    kind: str = FILE_RULE
 
     @property
     def family(self) -> str:
@@ -38,18 +51,30 @@ class Rule:
 _REGISTRY: Dict[str, Rule] = {}
 
 
-def register(code: str, summary: str) -> Callable[[RuleFunc], RuleFunc]:
-    """Decorator: register ``func`` as the checker for ``code``."""
+def _register(code: str, summary: str, kind: str
+              ) -> Callable[[RuleFunc], RuleFunc]:
     if not _CODE_RE.match(code):
         raise ValueError(f"rule code must look like SIM123, got {code!r}")
 
     def decorator(func: RuleFunc) -> RuleFunc:
         if code in _REGISTRY:
             raise ValueError(f"duplicate rule code {code}")
-        _REGISTRY[code] = Rule(code=code, summary=summary, check=func)
+        _REGISTRY[code] = Rule(code=code, summary=summary, check=func,
+                               kind=kind)
         return func
 
     return decorator
+
+
+def register(code: str, summary: str) -> Callable[[RuleFunc], RuleFunc]:
+    """Decorator: register a per-file checker for ``code``."""
+    return _register(code, summary, FILE_RULE)
+
+
+def register_project(code: str, summary: str
+                     ) -> Callable[[RuleFunc], RuleFunc]:
+    """Decorator: register a whole-program checker for ``code``."""
+    return _register(code, summary, PROJECT_RULE)
 
 
 def _ensure_loaded() -> None:
@@ -60,9 +85,19 @@ def _ensure_loaded() -> None:
 
 
 def all_rules() -> List[Rule]:
-    """Every registered rule, ordered by code."""
+    """Every registered rule (both kinds), ordered by code."""
     _ensure_loaded()
     return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def file_rules() -> List[Rule]:
+    """Per-file rules only, ordered by code."""
+    return [rule for rule in all_rules() if rule.kind == FILE_RULE]
+
+
+def project_rules() -> List[Rule]:
+    """Whole-program rules only, ordered by code."""
+    return [rule for rule in all_rules() if rule.kind == PROJECT_RULE]
 
 
 def get_rule(code: str) -> Optional[Rule]:

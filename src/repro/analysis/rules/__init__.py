@@ -7,8 +7,11 @@ hazard in *this* codebase that motivated its family.
 
 from . import (  # noqa: F401
     asynchygiene,
+    blocking,
     cachekey,
     determinism,
     exceptions,
     hygiene,
+    seedflow,
+    unitflow,
 )

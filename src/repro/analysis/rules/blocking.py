@@ -1,0 +1,189 @@
+"""SIM8xx -- blocking calls reachable from the event loop.
+
+The sweep service's responsiveness rests on one invariant: nothing on
+the asyncio loop blocks.  The expensive work (``run_many_report``)
+already ships to the executor, but Python will happily let an
+``async def`` call ``time.sleep``, open a file, or walk three sync
+helpers deep into ``Path.write_text`` -- and every connection stalls
+for the duration with no diagnostic.
+
+SIM801 flags blocking calls written *directly* in an ``async def``;
+SIM802 chases the project call graph through sync helpers (bounded
+depth, never descending into other ``async def``s, which are analyzed
+as their own roots).  Work handed off by *reference* --
+``loop.run_in_executor(None, self._run_job, ...)``,
+``asyncio.to_thread(fn)`` -- creates no call edge and is therefore
+exempt by construction, which is exactly the sanctioned pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..facts import ModuleFacts
+from ..findings import Finding
+from ..project import ProjectContext
+from ..registry import register_project
+
+#: Fully-resolved callables that block the calling thread.
+DOTTED_SINKS = {
+    "time.sleep",
+    "open", "io.open",
+    "os.fdopen", "os.open", "os.replace", "os.rename", "os.remove",
+    "os.unlink", "os.makedirs", "os.listdir", "os.scandir",
+    "shutil.copy", "shutil.copyfile", "shutil.copytree",
+    "shutil.rmtree", "shutil.move",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+}
+
+#: Method names that are blocking wherever they appear: nothing in
+#: scope except ``pathlib.Path`` (and file handles) grows these.
+METHOD_SINKS = {
+    "read_text", "write_text", "read_bytes", "write_bytes",
+    "mkdir", "rmdir", "touch", "unlink",
+}
+
+#: Sweep fan-out entry points: minutes of work behind a thread-pool
+#: hand-off; calling one on the loop freezes the whole service.  These
+#: are terminal -- the walk never descends past them into the harness.
+FANOUT_SINKS = {"run_many", "run_many_report"}
+
+
+def _sink_of(call: dict) -> Optional[str]:
+    """Human-stable description if this call site is a sink."""
+    if call["kind"] == "dotted" and call["target"] in DOTTED_SINKS:
+        return f"{call['target']}()"
+    attr = call["attr"]
+    if call["kind"] == "dotted" and "." in call["target"]:
+        # ``path.write_text(...)`` on a plain name classifies as a
+        # dotted call; the method name is still the evidence.
+        attr = call["target"].split(".")[-1]
+    if attr in FANOUT_SINKS:
+        return f".{attr}() (sweep fan-out)"
+    if attr in METHOD_SINKS:
+        return f".{attr}() (sync file I/O)"
+    return None
+
+
+def _calls_by_caller(facts: ModuleFacts) -> Dict[str, List[dict]]:
+    grouped: Dict[str, List[dict]] = {}
+    for call in facts.calls:
+        grouped.setdefault(call["caller"], []).append(call)
+    return grouped
+
+
+def _short(qual: str) -> str:
+    return qual[len("repro."):] if qual.startswith("repro.") else qual
+
+
+def _direct_sinks(grouped: Dict[str, List[dict]], local_qual: str
+                  ) -> Iterator[Tuple[dict, str]]:
+    for call in grouped.get(local_qual, []):
+        sink = _sink_of(call)
+        if sink is not None:
+            yield call, sink
+
+
+def _async_functions(facts: ModuleFacts) -> Iterator[dict]:
+    for func in facts.functions:
+        if func["is_async"]:
+            yield func
+
+
+@register_project("SIM801",
+                  "no blocking calls written directly in async def "
+                  "bodies")
+def check_direct_blocking(ctx: ProjectContext) -> Iterator[Finding]:
+    """The loop thread must never sleep, read disks or fan out.
+
+    A ``time.sleep``/``open``/``run_many`` written inside an ``async
+    def`` stalls every connection the service holds; use
+    ``asyncio.sleep`` or push the work through
+    ``loop.run_in_executor`` (passing the callable by reference).
+    """
+    for rel in sorted(ctx.facts):
+        facts = ctx.facts[rel]
+        if not rel.startswith("src/repro/"):
+            continue
+        grouped = _calls_by_caller(facts)
+        for func in _async_functions(facts):
+            for call, sink in _direct_sinks(grouped, func["qual"]):
+                yield Finding(
+                    code="SIM801",
+                    message=(
+                        f"async {func['name']}() calls blocking "
+                        f"{sink} on the event loop; use the asyncio "
+                        f"equivalent or hand the callable to "
+                        f"run_in_executor"
+                    ),
+                    path=rel,
+                    line=call["line"],
+                    col=call["col"],
+                )
+
+
+@register_project("SIM802",
+                  "no blocking calls reachable from async defs via "
+                  "sync helpers")
+def check_transitive_blocking(ctx: ProjectContext) -> Iterator[Finding]:
+    """Chase sync call chains out of every async def.
+
+    The dangerous blocking call is rarely written in the coroutine --
+    it hides behind helpers (``_finalize -> JobStore.save ->
+    os.replace``).  This walks resolved project call edges from each
+    ``async def`` (skipping async callees and executor hand-offs,
+    which pass callables by reference) and reports one finding per
+    (coroutine, blocking helper) pair, anchored at the first hop.
+    """
+    for rel in sorted(ctx.facts):
+        facts = ctx.facts[rel]
+        if not rel.startswith("src/repro/"):
+            continue
+        for func in _async_functions(facts):
+            start = f"{facts.module}.{func['qual']}"
+            reported = set()
+            for target, chain in ctx.reachable_sync(start):
+                target_rel = ctx.rel_of(target)
+                if target_rel is None or target in reported:
+                    continue
+                target_facts = ctx.facts.get(target_rel)
+                if target_facts is None:
+                    continue
+                target_func = ctx.function(target)
+                grouped = _calls_by_caller(target_facts)
+                sinks = sorted(
+                    (call["line"], sink)
+                    for call, sink in _direct_sinks(
+                        grouped, target_func["qual"])
+                )
+                if not sinks:
+                    continue
+                reported.add(target)
+                anchor = _first_hop(ctx, start, chain)
+                hops = [_short(q) for q in chain[1:-1]]
+                via = f" via {' -> '.join(hops)}" if hops else ""
+                yield Finding(
+                    code="SIM802",
+                    message=(
+                        f"async {func['name']}() reaches blocking "
+                        f"{sinks[0][1]} in {_short(target)}{via}; "
+                        f"move the I/O behind run_in_executor "
+                        f"or make the helper loop-safe"
+                    ),
+                    path=rel,
+                    line=anchor[0] if anchor else func["line"],
+                    col=anchor[1] if anchor else func["col"],
+                )
+
+
+def _first_hop(ctx: ProjectContext, start: str,
+               chain: List[str]) -> Optional[Tuple[int, int]]:
+    if len(chain) < 2:
+        return None
+    for edge in ctx.calls_from(start):
+        if edge["resolved"] == chain[1]:
+            return edge["line"], edge["col"]
+    return None

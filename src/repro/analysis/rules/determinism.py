@@ -97,11 +97,14 @@ def check_wall_clock(ctx: FileContext) -> Iterator[Finding]:
     Timing instrumentation belongs in ``src/repro/harness/`` (runner
     duration provenance, timeout enforcement) and
     ``src/repro/service/`` (retry backoff, breaker cooldowns, queue
-    drain estimates -- wall-clock concerns by design); anywhere else
-    in ``src/repro/`` a clock or entropy read means the model's
-    numbers can depend on when or where they were produced.
+    drain estimates -- wall-clock concerns by design).  The analyzer
+    itself (``src/repro/analysis/``, phase timing) reproduces no
+    simulated numbers and is exempt too; anywhere else in
+    ``src/repro/`` a clock or entropy read means the model's numbers
+    can depend on when or where they were produced.
     """
-    if not ctx.in_src or ctx.in_harness or ctx.in_service:
+    if (not ctx.in_src or ctx.in_harness or ctx.in_service
+            or ctx.in_analysis):
         return
     imports = collect_imports(ctx.tree)
     for node in ast.walk(ctx.tree):

@@ -1,0 +1,398 @@
+"""SIM6xx -- physical-units checking (whole-program).
+
+Table 2 quantities carry units -- wire delay in *cycles* or *seconds*,
+energy in *joules* or paper-relative units, traffic in *bits* -- and a
+mix-up survives every test that only checks shapes.  The unit table
+(:mod:`repro.analysis.units`: builtin registry plus in-source
+``# simlint: units(...)`` declarations) assigns units to API
+parameters and returns; this pass propagates them through assignments
+and arithmetic inside every function of the unit-scoped modules
+(``interconnect/``, ``wires/``, ``telemetry/metrics.py``, plus any
+module that declares units) and reports:
+
+* **SIM601** -- additive/comparison arithmetic over two *different*
+  known units (``delay_s + latency_cycles``);
+* **SIM602** -- a known-unit value handed to a parameter (or return)
+  registered with a different unit, across module boundaries via the
+  project symbol table;
+* **SIM603** -- a units declaration naming an unknown unit (a typo
+  here would silently disable checking).
+
+The propagation is conservative: only provable mismatches fire.
+Multiplication and division of mixed units yield *unknown* (derived
+units are untracked), and unknown absorbs silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from ..facts import ModuleFacts
+from ..findings import Finding
+from ..project import ProjectContext
+from ..registry import register_project
+from ..units import UnitMismatch, combine_additive, combine_multiplicative
+
+#: Path prefixes whose files are checked even without declarations.
+SCOPE_PREFIXES = (
+    "src/repro/interconnect/",
+    "src/repro/wires/",
+)
+SCOPE_FILES = ("src/repro/telemetry/metrics.py",)
+
+
+def _in_unit_scope(facts: ModuleFacts) -> bool:
+    if facts.rel.startswith(SCOPE_PREFIXES) or facts.rel in SCOPE_FILES:
+        return True
+    return bool(facts.unit_decls)
+
+
+class _FunctionUnits(ast.NodeVisitor):
+    """Propagate units through one function body."""
+
+    def __init__(self, ctx: ProjectContext, facts: ModuleFacts,
+                 qual: str, findings: List[Finding]) -> None:
+        self.ctx = ctx
+        self.facts = facts
+        self.qual = qual  # module-qualified
+        self.findings = findings
+        self.env: Dict[str, str] = {}
+        self.var_types: Dict[str, str] = {}
+        declared = ctx.unit_table.units_for(qual) or {}
+        self.return_unit = declared.get("return")
+        for param, unit in declared.items():
+            if param != "return":
+                self.env[param] = unit
+
+    # -- resolution helpers ----------------------------------------------
+
+    def _dotted(self, node: ast.AST) -> Optional[str]:
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+
+    def _resolve_dotted(self, dotted: str) -> str:
+        head, _, rest = dotted.partition(".")
+        members = self.facts.import_members
+        modules = self.facts.import_modules
+        if head in members:
+            return f"{members[head]}.{rest}" if rest else members[head]
+        if head in modules:
+            return f"{modules[head]}.{rest}" if rest else modules[head]
+        return dotted
+
+    def _call_target(self, node: ast.Call) -> Optional[str]:
+        """Qualified name of the callee, through the symbol table."""
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            receiver: Optional[str] = None
+            if isinstance(base, ast.Name):
+                if base.id == "self":
+                    cls = self.qual.split(".")
+                    # module...Class.method -> the class owns the attr
+                    if len(cls) >= 2:
+                        receiver = ".".join(cls[:-1])
+                else:
+                    receiver = self.var_types.get(base.id)
+            elif (isinstance(base, ast.Attribute)
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id == "self"):
+                caller_cls = self.qual.split(".")[-2] \
+                    if "." in self.qual else ""
+                receiver = self.facts.self_attr_types.get(
+                    caller_cls, {}).get(base.attr)
+            if receiver is not None:
+                qual = f"{receiver}.{func.attr}"
+                if self.ctx.unit_table.units_for(qual) is not None \
+                        or self.ctx.function(qual) is not None:
+                    return qual
+        dotted = self._dotted(func)
+        if dotted is None:
+            return None
+        resolved = self._resolve_dotted(dotted)
+        for candidate in (resolved, f"{self.facts.module}.{resolved}"):
+            if (self.ctx.unit_table.units_for(candidate) is not None
+                    or self.ctx.function(candidate) is not None):
+                return candidate
+        return None
+
+    def _param_name(self, target: str, index: int) -> Optional[str]:
+        func = self.ctx.function(target)
+        if func is not None and index < len(func["params"]):
+            return func["params"][index]
+        return None
+
+    # -- evaluation ------------------------------------------------------
+
+    def _mismatch(self, node: ast.AST, left: str, right: str) -> None:
+        self.findings.append(Finding(
+            code="SIM601",
+            message=(
+                f"arithmetic mixes incompatible units '{left}' and "
+                f"'{right}'; convert explicitly before combining"
+            ),
+            path=self.facts.rel,
+            line=node.lineno,
+            col=node.col_offset,
+        ))
+
+    def _handoff(self, node: ast.AST, got: str, want: str,
+                 where: str) -> None:
+        self.findings.append(Finding(
+            code="SIM602",
+            message=(
+                f"value in '{got}' handed to {where} expecting "
+                f"'{want}'; convert at the boundary"
+            ),
+            path=self.facts.rel,
+            line=node.lineno,
+            col=node.col_offset,
+        ))
+
+    def eval(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, (int, float)) \
+                    and not isinstance(node.value, bool):
+                return "1"
+            return None
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand)
+        if isinstance(node, ast.BinOp):
+            left = self.eval(node.left)
+            right = self.eval(node.right)
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                try:
+                    return combine_additive(left, right)
+                except UnitMismatch as exc:
+                    self._mismatch(node, exc.left, exc.right)
+                    return None
+            if isinstance(node.op, (ast.Mult, ast.Div,
+                                    ast.FloorDiv, ast.Mod)):
+                return combine_multiplicative(left, right)
+            return None
+        if isinstance(node, ast.Compare):
+            units = [self.eval(node.left)]
+            units.extend(self.eval(c) for c in node.comparators)
+            known = [u for u in units if u is not None and u != "1"]
+            if len(set(known)) > 1:
+                ordered = sorted(set(known))
+                self._mismatch(node, ordered[0], ordered[1])
+            return None
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.IfExp):
+            body = self.eval(node.body)
+            orelse = self.eval(node.orelse)
+            return body if body == orelse else None
+        # Anything else: recurse so nested calls still get checked.
+        for child in ast.iter_child_nodes(node):
+            self.eval(child)
+        return None
+
+    def _eval_call(self, node: ast.Call) -> Optional[str]:
+        target = self._call_target(node)
+        arg_units = [self.eval(arg) for arg in node.args]
+        kw_units = {kw.arg: self.eval(kw.value)
+                    for kw in node.keywords if kw.arg is not None}
+        if target is None:
+            return None
+        table = self.ctx.unit_table
+        if table.units_for(target) is not None:
+            for index, unit in enumerate(arg_units):
+                if unit is None or unit == "1":
+                    continue
+                param = self._param_name(target, index)
+                want = table.param_unit(target, param) if param else None
+                if want is not None and want != unit:
+                    self._handoff(node.args[index], unit, want,
+                                  f"{target}(..., {param}=)")
+            for name, unit in kw_units.items():
+                if unit is None or unit == "1":
+                    continue
+                want = table.param_unit(target, name)
+                if want is not None and want != unit:
+                    self._handoff(node, unit, want,
+                                  f"{target}(..., {name}=)")
+        return table.return_unit(target)
+
+    # -- statements ------------------------------------------------------
+
+    def run(self, func_node: ast.AST) -> None:
+        for stmt in func_node.body:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._track_ctor(stmt.targets, stmt.value)
+            unit = self.eval(stmt.value)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    if unit is not None:
+                        self.env[target.id] = unit
+                    else:
+                        self.env.pop(target.id, None)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._track_ctor([stmt.target], stmt.value)
+                unit = self.eval(stmt.value)
+                if isinstance(stmt.target, ast.Name):
+                    if unit is not None:
+                        self.env[stmt.target.id] = unit
+                    else:
+                        self.env.pop(stmt.target.id, None)
+        elif isinstance(stmt, ast.AugAssign):
+            right = self.eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                left = self.env.get(stmt.target.id)
+                result: Optional[str] = None
+                if isinstance(stmt.op, (ast.Add, ast.Sub)):
+                    try:
+                        result = combine_additive(left, right)
+                    except UnitMismatch as exc:
+                        self._mismatch(stmt, exc.left, exc.right)
+                elif isinstance(stmt.op, (ast.Mult, ast.Div,
+                                          ast.FloorDiv, ast.Mod)):
+                    result = combine_multiplicative(left, right)
+                if result is not None:
+                    self.env[stmt.target.id] = result
+                else:
+                    self.env.pop(stmt.target.id, None)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                unit = self.eval(stmt.value)
+                if (unit is not None and unit != "1"
+                        and self.return_unit is not None
+                        and unit != self.return_unit):
+                    self._handoff(stmt, unit, self.return_unit,
+                                  f"the declared return of {self.qual}")
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self.eval(stmt.test)
+            for sub in stmt.body + stmt.orelse:
+                self._stmt(sub)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.eval(stmt.iter)
+            for sub in stmt.body + stmt.orelse:
+                self._stmt(sub)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.eval(item.context_expr)
+            for sub in stmt.body:
+                self._stmt(sub)
+        elif isinstance(stmt, ast.Try):
+            for sub in (stmt.body + stmt.orelse + stmt.finalbody):
+                self._stmt(sub)
+            for handler in stmt.handlers:
+                for sub in handler.body:
+                    self._stmt(sub)
+        # Nested defs are analyzed as their own functions; skip here.
+
+    def _track_ctor(self, targets: List[ast.AST],
+                    value: ast.AST) -> None:
+        if not isinstance(value, ast.Call):
+            return
+        dotted = self._dotted(value.func)
+        if dotted is None:
+            return
+        last = dotted.split(".")[-1]
+        if not last[:1].isupper():
+            return
+        resolved = self._resolve_dotted(dotted)
+        for candidate in (resolved, f"{self.facts.module}.{resolved}"):
+            if candidate in self.ctx.class_symbols:
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        self.var_types[target.id] = candidate
+                return
+
+
+def _analyze_file(ctx: ProjectContext,
+                  facts: ModuleFacts) -> List[Finding]:
+    tree = ctx.ast_for(facts.rel)
+    if tree is None:
+        return []
+    findings: List[Finding] = []
+    class_stack: List[str] = []
+
+    def walk(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                class_stack.append(child.name)
+                walk(child, f"{prefix}{child.name}.")
+                class_stack.pop()
+            elif isinstance(child, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)):
+                qual = f"{facts.module}.{prefix}{child.name}"
+                checker = _FunctionUnits(ctx, facts, qual, findings)
+                checker.run(child)
+                walk(child, f"{prefix}{child.name}.")
+            else:
+                walk(child, prefix)
+
+    walk(tree, "")
+    return findings
+
+
+def _unit_findings(ctx: ProjectContext) -> List[Finding]:
+    cached = getattr(ctx, "_unit_findings_memo", None)
+    if cached is None:
+        cached = []
+        for rel in sorted(ctx.facts):
+            facts = ctx.facts[rel]
+            if _in_unit_scope(facts):
+                cached.extend(_analyze_file(ctx, facts))
+        ctx._unit_findings_memo = cached
+    return cached
+
+
+@register_project("SIM601",
+                  "no arithmetic over incompatible physical units")
+def check_unit_arithmetic(ctx: ProjectContext) -> Iterator[Finding]:
+    """Adding seconds to cycles is always a bug.
+
+    Additive arithmetic and comparisons between values whose units are
+    both known and different get flagged; convert explicitly (divide
+    by the clock period, scale pJ to J) before combining.
+    """
+    for finding in _unit_findings(ctx):
+        if finding.code == "SIM601":
+            yield finding
+
+
+@register_project("SIM602",
+                  "no unconverted cross-API unit handoffs")
+def check_unit_handoff(ctx: ProjectContext) -> Iterator[Finding]:
+    """Parameters and returns keep their registered units.
+
+    A seconds-valued delay handed to a ``cycles`` parameter (or
+    returned from a function declared to return ``cycles``) silently
+    scales results by the clock frequency; the registry makes the
+    contract checkable at every call site, across modules.
+    """
+    for finding in _unit_findings(ctx):
+        if finding.code == "SIM602":
+            yield finding
+
+
+@register_project("SIM603",
+                  "units declarations must use the known vocabulary")
+def check_unit_decls(ctx: ProjectContext) -> Iterator[Finding]:
+    """A typo'd unit would silently disable checking.
+
+    ``# simlint: units(...)`` declarations are validated against the
+    vocabulary in :mod:`repro.analysis.units`; unknown units are
+    findings, not silent no-ops.
+    """
+    for rel, line, message in sorted(ctx.unit_errors):
+        yield Finding(code="SIM603", message=message, path=rel,
+                      line=line, col=0)

@@ -2,13 +2,21 @@
 
 ``python -m repro.analysis.simlint [paths...]`` -- also reachable as
 ``repro lint``.  Exit status: 0 when every finding is baselined or
-suppressed, 1 when new findings exist, 2 on usage errors (unknown rule
-code, unusable baseline file).
+suppressed, 1 when new findings exist (or ``--check-baseline`` found
+stale entries), 2 on usage errors (unknown rule code, unusable
+baseline file).
 
 The default baseline is ``simlint-baseline.json`` at the detected repo
 root; it is only an allowlist -- ``--write-baseline`` regenerates it
 from the current findings (new entries are stamped ``TODO: justify``
-so un-rationalized entries stand out in review).
+so un-rationalized entries stand out in review) and
+``--check-baseline`` fails on entries no current finding uses, so
+fixed violations cannot keep an open allowlist slot.
+
+Performance knobs: ``--jobs N`` fans the per-file phase out over
+processes, and the content-hashed cache under ``.simlint-cache/``
+makes warm re-runs skip parsing entirely (``--no-cache`` /
+``--cache-dir`` control it; ``--timings FILE`` records phase times).
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from typing import List, Optional
 from .._version import package_version
 from .baseline import Baseline, BaselineError
 from .engine import LintResult, find_root, lint_paths
+from .explain import explain
 from .registry import all_rules, get_rule
 
 BASELINE_NAME = "simlint-baseline.json"
@@ -48,7 +57,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--select", default=None, metavar="CODES",
-        help="comma-separated rule codes to run (default: all)",
+        help="comma-separated rule codes to report (default: all; "
+             "every rule still runs so the cache stays shared)",
     )
     parser.add_argument(
         "--baseline", default=None, metavar="FILE",
@@ -67,6 +77,35 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true",
         help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--explain", default=None, metavar="CODE",
+        help="print a rule's rationale and its bad/good fixture "
+             "examples, then exit",
+    )
+    parser.add_argument(
+        "--check-baseline", action="store_true",
+        help="also fail (exit 1) when the baseline carries stale "
+             "entries that no current finding uses",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan per-file analysis out over N processes "
+             "(default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk incremental cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default: .simlint-cache at the repo "
+             "root)",
+    )
+    parser.add_argument(
+        "--timings", default=None, metavar="FILE",
+        help="write a JSON phase-timing summary to FILE "
+             "('-' for stdout)",
     )
     return parser
 
@@ -125,10 +164,61 @@ def _list_rules() -> str:
     return "\n".join(lines)
 
 
+def _stale_baseline_entries(baseline: Baseline,
+                            result: LintResult) -> List[dict]:
+    """Entries whose allowance exceeds what this run actually used.
+
+    A stale entry is a fixed violation still carrying its allowlist
+    slot -- it would silently absorb the next *regression* with the
+    same fingerprint, so ``--check-baseline`` fails on it until the
+    entry is dropped (``--write-baseline`` regenerates).
+    """
+    used: dict = {}
+    for finding in result.baselined:
+        fingerprint = finding.fingerprint()
+        used[fingerprint] = used.get(fingerprint, 0) + 1
+    stale = []
+    for fingerprint, entry in sorted(baseline.entries.items(),
+                                     key=lambda item: (
+                                         item[1]["path"],
+                                         item[1]["code"],
+                                         item[1]["message"])):
+        unused = entry["count"] - used.get(fingerprint, 0)
+        if unused > 0:
+            stale.append({"fingerprint": fingerprint,
+                          "unused": unused, **entry})
+    return stale
+
+
+def _write_timings(result: LintResult, destination: str) -> None:
+    payload = json.dumps({
+        "timings_s": {name: round(value, 4)
+                      for name, value in sorted(result.timings.items())},
+        "files_checked": result.files_checked,
+        "cache_hits": result.cache_hits,
+        "cache_misses": result.cache_misses,
+        "project_cache_hit": result.project_cache_hit,
+        "jobs": result.jobs,
+    }, indent=2, sort_keys=True)
+    if destination == "-":
+        print(payload)
+    else:
+        Path(destination).write_text(payload + "\n", encoding="utf-8")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
         print(_list_rules())
+        return 0
+    if args.explain is not None:
+        text = explain(args.explain, find_root(Path.cwd()))
+        if text is None:
+            print(f"repro lint: unknown rule code "
+                  f"{args.explain.upper()!r}; use --list-rules",
+                  file=sys.stderr)
+            return 2
+        print(text)
         return 0
     try:
         select = _resolve_select(args.select)
@@ -160,8 +250,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"repro lint: {exc}", file=sys.stderr)
             return 2
 
-    result = lint_paths(paths, baseline=baseline, select=select,
-                        root=root)
+    if args.jobs < 1:
+        print("repro lint: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.check_baseline and baseline is None:
+        print("repro lint: --check-baseline needs a baseline file "
+              "(none found and --no-baseline not applicable)",
+              file=sys.stderr)
+        return 2
+    if args.check_baseline and select:
+        print("repro lint: --check-baseline needs the full rule set; "
+              "drop --select (a scoped run would call every "
+              "out-of-scope entry stale)", file=sys.stderr)
+        return 2
+
+    result = lint_paths(
+        paths, baseline=baseline, select=select, root=root,
+        jobs=args.jobs, use_cache=not args.no_cache,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+    )
+
+    if args.timings is not None:
+        _write_timings(result, args.timings)
 
     if args.write_baseline:
         if baseline_path is None:
@@ -171,11 +281,25 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{baseline_path}")
         return 0
 
+    stale: List[dict] = []
+    if args.check_baseline and baseline is not None:
+        stale = _stale_baseline_entries(baseline, result)
+
     if args.format == "json":
         print(_render_json(result, baseline_path))
     else:
         print(_render_human(result, baseline_path))
-    return 0 if result.ok else 1
+    for entry in stale:
+        print(f"stale baseline entry: {entry['path']}: "
+              f"{entry['code']} {entry['message']} "
+              f"({entry['unused']} unused of {entry['count']} "
+              f"allowed) [{entry['fingerprint']}]",
+              file=sys.stderr)
+    if stale:
+        print(f"simlint: {len(stale)} stale baseline entr"
+              f"{'y' if len(stale) == 1 else 'ies'}; regenerate with "
+              f"--write-baseline (keep the notes)", file=sys.stderr)
+    return 0 if result.ok and not stale else 1
 
 
 if __name__ == "__main__":

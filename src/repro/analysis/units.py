@@ -1,0 +1,170 @@
+"""The physical-units registry behind the SIM6xx rules.
+
+Quantities in this codebase have physical meaning -- Table 2 wire
+delays are *cycles*, repeater models return *seconds* and *joules*,
+traffic is *bits*, leakage integrates over *cycles* -- and nothing in
+Python stops a caller from adding seconds to cycles or handing a
+bit count to a parameter expecting cycles.  The registry gives the
+analyzer a unit vocabulary and a table mapping API parameters and
+returns to units; :mod:`repro.analysis.rules.unitflow` propagates them
+through assignments and arithmetic.
+
+Two sources feed the table:
+
+* :data:`BUILTIN_UNITS` below pins the core wire/energy/stats APIs;
+* in-source declarations ``# simlint: units(length=m, return=s)`` on
+  (or directly above) a ``def`` line, harvested per-module by
+  :mod:`repro.analysis.facts` and merged project-wide, so new APIs can
+  annotate themselves without touching the analyzer.
+
+The algebra is deliberately small and conservative: ``+``/``-`` and
+comparisons require matching units; multiplying or dividing mixed
+units yields *unknown* (derived units are not tracked), so only
+provable mix-ups are reported.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+#: The unit vocabulary.  Anything else in a declaration is rejected so
+#: typos cannot silently disable checking.
+KNOWN_UNITS = frozenset({
+    # time
+    "s", "ps", "ns", "cycles",
+    # energy / power
+    "J", "pJ", "W",
+    # information / geometry / electrical
+    "bits", "m", "nm", "ohm", "F", "V",
+    # paper-normalized relative quantities (Table 2 style)
+    "rel_delay", "rel_energy", "rel_leakage",
+    # explicitly dimensionless (ratios, counts, factors)
+    "1",
+})
+
+#: Units of the wire/energy/stats API surface.  Qualified name ->
+#: {param name: unit, "return": unit}.  Parameters not listed are
+#: unconstrained.
+BUILTIN_UNITS: Dict[str, Dict[str, str]] = {
+    # wires.geometry -- SI throughout
+    "repro.wires.geometry.WireGeometry.unbuffered_delay": {
+        "length": "m", "return": "s"},
+    "repro.wires.geometry.WireGeometry.resistance_per_m": {
+        "return": "ohm"},
+    "repro.wires.geometry.WireGeometry.capacitance_per_m": {
+        "return": "F"},
+    # wires.repeaters
+    "repro.wires.repeaters.RepeaterConfig.count_for": {
+        "length": "m", "return": "1"},
+    "repro.wires.repeaters.repeated_wire_delay": {
+        "length": "m", "return": "s"},
+    "repro.wires.repeaters.repeated_wire_dynamic_energy": {
+        "length": "m", "return": "J"},
+    "repro.wires.repeaters.repeated_wire_leakage_power": {
+        "length": "m", "return": "W"},
+    # wires.transmission
+    "repro.wires.transmission.TransmissionLineSpec.delay": {
+        "length": "m", "return": "s"},
+    # interconnect -- relative units, bits and cycles
+    "repro.interconnect.plane.PlaneSpec.dynamic_energy_for_bits": {
+        "bits": "bits", "return": "rel_energy"},
+    "repro.interconnect.plane.PlaneSpec.leakage_per_cycle": {
+        "return": "rel_leakage"},
+    "repro.interconnect.stats.InterconnectStats.record_segment": {
+        "bits": "bits"},
+    "repro.interconnect.stats.InterconnectStats.dynamic_energy": {
+        "return": "rel_energy"},
+    "repro.interconnect.stats.leakage_energy": {
+        "cycles": "cycles", "return": "rel_energy"},
+}
+
+
+class UnitDeclError(ValueError):
+    """An in-source units declaration names an unknown unit."""
+
+
+class UnitTable:
+    """Merged unit knowledge: builtins plus harvested declarations."""
+
+    def __init__(self,
+                 builtin: Optional[Mapping[str, Dict[str, str]]] = None
+                 ) -> None:
+        self._table: Dict[str, Dict[str, str]] = {
+            qual: dict(units)
+            for qual, units in (builtin or BUILTIN_UNITS).items()
+        }
+
+    def declare(self, qual: str, units: Mapping[str, str]) -> None:
+        """Merge one function's declaration (declarations win)."""
+        for name, unit in units.items():
+            if unit not in KNOWN_UNITS:
+                raise UnitDeclError(
+                    f"unknown unit {unit!r} declared for {qual}.{name}; "
+                    f"known units: {', '.join(sorted(KNOWN_UNITS))}"
+                )
+        self._table.setdefault(qual, {}).update(units)
+
+    def units_for(self, qual: str) -> Optional[Dict[str, str]]:
+        """The {param/return: unit} mapping for a qualified name."""
+        return self._table.get(qual)
+
+    def return_unit(self, qual: str) -> Optional[str]:
+        units = self._table.get(qual)
+        if units is None:
+            return None
+        return units.get("return")
+
+    def param_unit(self, qual: str, param: str) -> Optional[str]:
+        units = self._table.get(qual)
+        if units is None:
+            return None
+        return units.get(param)
+
+    def known_quals(self):
+        return sorted(self._table)
+
+
+def combine_additive(left: Optional[str],
+                     right: Optional[str]) -> Optional[str]:
+    """Result unit of ``left + right`` when compatible, else raises.
+
+    ``None`` (unknown) absorbs: adding an unknown to anything yields
+    the known side without complaint.  Dimensionless (``"1"``) is
+    transparent too -- ``cycles + 1`` is an offset, and a ``0.0``
+    accumulator seed must not pin the accumulator's unit.  Only two
+    *different* known physical units raise :class:`UnitMismatch`.
+    """
+    if left == "1":
+        return right
+    if right == "1":
+        return left
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if left == right:
+        return left
+    raise UnitMismatch(left, right)
+
+
+def combine_multiplicative(left: Optional[str],
+                           right: Optional[str]) -> Optional[str]:
+    """Result unit of ``left * right`` / ``left / right``.
+
+    Dimensionless (``"1"``) is transparent; any other mix collapses to
+    unknown -- derived units are out of scope by design.
+    """
+    if left == "1":
+        return right
+    if right == "1":
+        return left
+    return None
+
+
+class UnitMismatch(Exception):
+    """Additive combination of two different known units."""
+
+    def __init__(self, left: str, right: str) -> None:
+        super().__init__(f"{left} vs {right}")
+        self.left = left
+        self.right = right

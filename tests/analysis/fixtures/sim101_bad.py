@@ -1,0 +1,6 @@
+# fixture-path: src/repro/core/demo.py
+import random
+
+
+def draw():
+    return random.random()

@@ -1,0 +1,7 @@
+# fixture-path: src/repro/core/demo.py
+import random
+
+
+def draw(seed):
+    rng = random.Random(seed)
+    return rng.random()

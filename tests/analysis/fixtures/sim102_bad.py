@@ -1,0 +1,6 @@
+# fixture-path: src/repro/core/demo.py
+import time
+
+
+def stamp(record):
+    record.at = time.time()

@@ -1,0 +1,8 @@
+# fixture-path: src/repro/harness/demo.py
+import time
+
+
+def measure(step):
+    start = time.perf_counter()
+    step()
+    return time.perf_counter() - start

@@ -1,0 +1,4 @@
+# fixture-path: src/repro/core/demo.py
+def emit(names):
+    for name in sorted(set(names)):
+        print(name)

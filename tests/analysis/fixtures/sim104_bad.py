@@ -1,0 +1,6 @@
+# fixture-path: src/repro/core/demo.py
+def utilization_report(counters):
+    rows = []
+    for key, value in counters.items():
+        rows.append((key, value))
+    return rows

@@ -1,0 +1,3 @@
+# fixture-path: src/repro/core/demo.py
+def utilization_report(counters):
+    return [kv for kv in sorted(counters.items())]

@@ -1,0 +1,3 @@
+# fixture-path: src/repro/core/demo.py
+def order(transfers):
+    return sorted(transfers, key=id)

@@ -1,0 +1,6 @@
+# fixture-path: src/repro/clusters/demo.py
+import numpy as np
+
+
+def rank(scores):
+    return np.argsort(scores, kind="stable")

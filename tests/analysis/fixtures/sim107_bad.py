@@ -1,0 +1,6 @@
+# fixture-path: src/repro/service/demo.py
+import asyncio
+
+
+async def kick(work):
+    asyncio.create_task(work())

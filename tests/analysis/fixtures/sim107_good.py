@@ -1,0 +1,11 @@
+# fixture-path: src/repro/service/demo.py
+import asyncio
+
+TASKS = set()
+
+
+async def kick(work):
+    task = asyncio.create_task(work())
+    TASKS.add(task)
+    task.add_done_callback(TASKS.discard)
+    return task

@@ -1,0 +1,16 @@
+# fixture-path: src/repro/core/demo.py
+import hashlib
+import json
+from dataclasses import dataclass
+
+CACHE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Plan:
+    model: str
+    seed: int = 0
+
+    def cache_key(self):
+        payload = json.dumps([CACHE_VERSION, self.model, self.seed])
+        return hashlib.sha256(payload.encode()).hexdigest()

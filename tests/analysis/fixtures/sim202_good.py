@@ -1,0 +1,15 @@
+# fixture-path: src/repro/core/demo.py
+import hashlib
+import json
+from dataclasses import dataclass
+
+CACHE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Plan:
+    model: str
+
+    def cache_key(self):
+        payload = json.dumps([CACHE_VERSION, self.model])
+        return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,6 @@
+# fixture-path: src/repro/core/demo.py
+def run(step):
+    try:
+        step()
+    except:
+        pass

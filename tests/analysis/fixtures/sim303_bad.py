@@ -1,0 +1,5 @@
+# fixture-path: src/repro/core/demo.py
+def lookup(table, model):
+    if model not in table:
+        raise KeyError(model)
+    return table[model]

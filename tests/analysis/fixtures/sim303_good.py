@@ -1,0 +1,8 @@
+# fixture-path: src/repro/core/demo.py
+from repro.interconnect.errors import ConfigError
+
+
+def lookup(table, model):
+    if model not in table:
+        raise ConfigError(f"unknown model {model!r}")
+    return table[model]

@@ -1,0 +1,7 @@
+# fixture-path: src/repro/core/demo.py
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    model: str

@@ -1,0 +1,3 @@
+# fixture-path: src/repro/core/demo.py
+def run(steps=None):
+    return steps if steps is not None else []

@@ -1,0 +1,3 @@
+# fixture-path: src/repro/core/demo.py
+def saturated(ipc):
+    return ipc == 0.95

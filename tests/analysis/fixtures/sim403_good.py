@@ -1,0 +1,6 @@
+# fixture-path: src/repro/core/demo.py
+import math
+
+
+def saturated(ipc):
+    return math.isclose(ipc, 0.95, rel_tol=1e-9)

@@ -1,0 +1,6 @@
+# fixture-path: src/repro/core/demo.py
+import random
+
+
+def make_stream():
+    return random.Random(42)

@@ -1,0 +1,6 @@
+# fixture-path: src/repro/core/demo.py
+import random
+
+
+def make_stream(plan):
+    return random.Random(plan.seed)

@@ -1,0 +1,16 @@
+# fixture-path: src/repro/core/demo.py
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RoutePlan:
+    model: str
+    width: int
+
+    def cache_key(self):
+        return hashlib.sha256(self.model.encode()).hexdigest()
+
+
+def segments(plan):
+    return plan.width * 2

@@ -1,0 +1,17 @@
+# fixture-path: src/repro/core/demo.py
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RoutePlan:
+    model: str
+    width: int
+
+    def cache_key(self):
+        payload = f"{self.model}:{self.width}"
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def segments(plan):
+    return plan.width * 2

@@ -1,0 +1,4 @@
+# fixture-path: src/repro/wires/demo.py
+# simlint: units(delay_s=s, latency_cycles=cycles)
+def total_latency(delay_s, latency_cycles):
+    return delay_s + latency_cycles

@@ -1,0 +1,9 @@
+# fixture-path: src/repro/wires/demo.py
+# simlint: units(length_m=m, return=s)
+def base_delay(length_m):
+    return 1e-9
+
+
+# simlint: units(latency_cycles=cycles)
+def schedule(latency_cycles):
+    return base_delay(latency_cycles)

@@ -1,0 +1,9 @@
+# fixture-path: src/repro/wires/demo.py
+# simlint: units(length_m=m, return=s)
+def base_delay(length_m):
+    return 1e-9
+
+
+# simlint: units(span_m=m, return=s)
+def total_delay(span_m):
+    return base_delay(span_m)

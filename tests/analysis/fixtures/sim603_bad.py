@@ -1,0 +1,4 @@
+# fixture-path: src/repro/wires/demo.py
+# simlint: units(length=metres, return=s)
+def base_delay(length):
+    return 1e-9

@@ -1,0 +1,6 @@
+# fixture-path: src/repro/service/demo.py
+import time
+
+
+async def throttle(delay):
+    time.sleep(delay)

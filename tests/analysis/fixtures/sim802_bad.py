@@ -1,0 +1,11 @@
+# fixture-path: src/repro/service/demo.py
+import json
+
+
+def save_record(path, record):
+    with open(path, "w") as handle:
+        json.dump(record, handle)
+
+
+async def handle_job(path, record):
+    save_record(path, record)

@@ -1,0 +1,13 @@
+# fixture-path: src/repro/service/demo.py
+import asyncio
+import json
+
+
+def save_record(path, record):
+    with open(path, "w") as handle:
+        json.dump(record, handle)
+
+
+async def handle_job(path, record):
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, save_record, path, record)

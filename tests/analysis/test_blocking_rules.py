@@ -1,0 +1,168 @@
+"""SIM8xx: blocking calls on (or reachable from) the event loop."""
+
+
+class TestSIM801DirectBlocking:
+    def test_time_sleep_in_async_def_is_flagged(self, lint_tree):
+        result = lint_tree({"src/repro/service/x.py": """\
+            import time
+
+            async def throttle(delay):
+                time.sleep(delay)
+            """}, select={"SIM801"})
+        assert [f.code for f in result.findings] == ["SIM801"]
+        assert "time.sleep" in result.findings[0].message
+
+    def test_open_in_async_def_is_flagged(self, lint_tree):
+        result = lint_tree({"src/repro/service/x.py": """\
+            async def slurp(path):
+                with open(path) as handle:
+                    return handle.read()
+            """}, select={"SIM801"})
+        assert [f.code for f in result.findings] == ["SIM801"]
+
+    def test_path_methods_are_flagged(self, lint_tree):
+        result = lint_tree({"src/repro/service/x.py": """\
+            async def persist(path, text):
+                path.write_text(text)
+            """}, select={"SIM801"})
+        assert [f.code for f in result.findings] == ["SIM801"]
+        assert "sync file I/O" in result.findings[0].message
+
+    def test_sweep_fanout_is_flagged(self, lint_tree):
+        result = lint_tree({"src/repro/service/x.py": """\
+            from repro.harness.runner import run_many
+
+            async def sweep(plans):
+                return run_many(plans)
+            """}, select={"SIM801"})
+        assert [f.code for f in result.findings] == ["SIM801"]
+        assert "sweep fan-out" in result.findings[0].message
+
+    def test_sync_def_is_not_flagged(self, lint_tree):
+        result = lint_tree({"src/repro/service/x.py": """\
+            import time
+
+            def throttle(delay):
+                time.sleep(delay)
+            """}, select={"SIM801"})
+        assert result.findings == []
+
+    def test_asyncio_sleep_is_fine(self, lint_tree):
+        result = lint_tree({"src/repro/service/x.py": """\
+            import asyncio
+
+            async def throttle(delay):
+                await asyncio.sleep(delay)
+            """}, select={"SIM801"})
+        assert result.findings == []
+
+    def test_rule_is_scoped_to_src(self, lint_tree):
+        result = lint_tree({"tests/test_x.py": """\
+            import time
+
+            async def test_throttle():
+                time.sleep(0.01)
+            """}, select={"SIM801"})
+        assert result.findings == []
+
+
+class TestSIM802TransitiveBlocking:
+    def test_one_hop_helper_is_flagged(self, lint_tree):
+        result = lint_tree({"src/repro/service/x.py": """\
+            import json
+
+            def save_record(path, record):
+                with open(path, "w") as handle:
+                    json.dump(record, handle)
+
+            async def handle_job(path, record):
+                save_record(path, record)
+            """}, select={"SIM802"})
+        assert [f.code for f in result.findings] == ["SIM802"]
+        finding = result.findings[0]
+        assert "save_record" in finding.message
+        # Anchored at the call site inside the coroutine.
+        assert finding.line == 8
+
+    def test_two_hops_across_modules(self, lint_tree):
+        result = lint_tree({
+            "src/repro/service/store.py": """\
+                import os
+
+                class JobStore:
+                    def save(self, path):
+                        os.replace(path, path)
+
+                    def checkpoint(self, path):
+                        self.save(path)
+                """,
+            "src/repro/service/server.py": """\
+                from repro.service.store import JobStore
+
+                class Server:
+                    def __init__(self):
+                        self.store = JobStore()
+
+                    async def admit(self, path):
+                        self.store.checkpoint(path)
+                """,
+        }, select={"SIM802"})
+        assert [f.code for f in result.findings] == ["SIM802"]
+        finding = result.findings[0]
+        assert finding.path == "src/repro/service/server.py"
+        assert "os.replace" in finding.message
+        assert "JobStore.checkpoint" in finding.message
+
+    def test_one_finding_per_coroutine_helper_pair(self, lint_tree):
+        result = lint_tree({"src/repro/service/x.py": """\
+            import json
+
+            def save_record(path, record):
+                with open(path, "w") as handle:
+                    json.dump(record, handle)
+
+            async def handle_job(path, record):
+                save_record(path, record)
+                save_record(path, record)
+            """}, select={"SIM802"})
+        assert [f.code for f in result.findings] == ["SIM802"]
+
+    def test_executor_handoff_by_reference_is_fine(self, lint_tree):
+        result = lint_tree({"src/repro/service/x.py": """\
+            import asyncio
+            import json
+
+            def save_record(path, record):
+                with open(path, "w") as handle:
+                    json.dump(record, handle)
+
+            async def handle_job(path, record):
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(None, save_record, path,
+                                           record)
+            """}, select={"SIM802"})
+        assert result.findings == []
+
+    def test_async_callees_are_not_descended(self, lint_tree):
+        # The inner coroutine is its own SIM801/802 root; awaiting it
+        # from outside must not duplicate the report.
+        result = lint_tree({"src/repro/service/x.py": """\
+            import time
+
+            async def inner(delay):
+                time.sleep(delay)
+
+            async def outer(delay):
+                await inner(delay)
+            """}, select={"SIM802"})
+        assert result.findings == []
+
+    def test_clean_helper_chain_is_fine(self, lint_tree):
+        result = lint_tree({"src/repro/service/x.py": """\
+            def shape(record):
+                return {"id": record["id"]}
+
+            async def handle_job(record):
+                return shape(record)
+            """}, select={"SIM802"})
+        assert result.findings == []

@@ -1,0 +1,88 @@
+"""Every rule's fixture pair must behave as documented.
+
+The files under ``tests/analysis/fixtures/`` are what ``repro lint
+--explain SIMxxx`` prints as the bad/good examples, so this test is
+what stops the documentation drifting from the analyzer: the ``bad``
+fixture must produce its rule's code when linted at its declared
+path, and the ``good`` fixture must not.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import all_rules
+from repro.analysis.explain import (FIXTURES_DIR, explain,
+                                    fixture_path, fixture_target)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load(code, kind):
+    path = fixture_path(REPO_ROOT, code, kind)
+    assert path.is_file(), (
+        f"rule {code} has no {kind} fixture; add "
+        f"{FIXTURES_DIR}/{code.lower()}_{kind}.py so --explain can "
+        f"show a working example"
+    )
+    source = path.read_text(encoding="utf-8")
+    target = fixture_target(source)
+    assert target, (
+        f"{path} must start with '# fixture-path: src/...' naming "
+        f"the repo-relative path it is linted under"
+    )
+    return target, source
+
+
+@pytest.mark.parametrize("rule", all_rules(),
+                         ids=lambda rule: rule.code)
+def test_bad_fixture_is_flagged(rule, lint_tree):
+    target, source = _load(rule.code, "bad")
+    result = lint_tree({target: source}, select={rule.code})
+    codes = [f.code for f in result.findings]
+    assert rule.code in codes, (
+        f"{rule.code} bad fixture produced {codes or 'no findings'}"
+    )
+
+
+@pytest.mark.parametrize("rule", all_rules(),
+                         ids=lambda rule: rule.code)
+def test_good_fixture_is_clean(rule, lint_tree):
+    target, source = _load(rule.code, "good")
+    result = lint_tree({target: source}, select={rule.code})
+    assert result.findings == [], (
+        f"{rule.code} good fixture is not clean: "
+        f"{[f.render() for f in result.findings]}"
+    )
+
+
+@pytest.mark.parametrize("rule", all_rules(),
+                         ids=lambda rule: rule.code)
+def test_explain_shows_both_examples(rule):
+    text = explain(rule.code, REPO_ROOT)
+    assert text is not None
+    assert text.startswith(f"{rule.code}: {rule.summary}")
+    assert "example, flagged" in text
+    assert "example, clean" in text
+    # The rationale (docstring) must be present, not just the summary.
+    doc = (rule.check.__doc__ or "").strip().splitlines()
+    assert doc and doc[0].strip() in text
+
+
+def test_explain_covers_pseudo_codes():
+    for code in ("SIM000", "SIM002"):
+        text = explain(code, REPO_ROOT)
+        assert text is not None and code in text
+
+
+def test_explain_rejects_unknown_code():
+    assert explain("SIM999", REPO_ROOT) is None
+
+
+def test_fixture_corpus_is_ignored_by_discovery():
+    """The deliberate violations must never reach the repo's own gate."""
+    from repro.analysis.engine import discover_files
+    discovered = discover_files([REPO_ROOT / "tests"])
+    fixtures = REPO_ROOT / FIXTURES_DIR
+    assert (fixtures / ".simlint-ignore").is_file()
+    assert not [p for p in discovered if fixtures in p.parents]

@@ -1,0 +1,270 @@
+"""SIM5xx: seed/RNG provenance across the project call graph."""
+
+
+class TestSIM501RngProvenance:
+    def test_constant_seed_is_flagged(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            import random
+
+            def make_stream():
+                return random.Random(42)
+            """}, select={"SIM501"})
+        assert [f.code for f in result.findings] == ["SIM501"]
+        assert "constant or plan-independent" in result.findings[0].message
+
+    def test_missing_seed_is_flagged(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            import numpy as np
+
+            def make_stream():
+                return np.random.default_rng()
+            """}, select={"SIM501"})
+        assert [f.code for f in result.findings] == ["SIM501"]
+        assert "without a seed" in result.findings[0].message
+
+    def test_os_entropy_is_flagged(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            import random
+
+            def make_stream():
+                return random.SystemRandom()
+            """}, select={"SIM501"})
+        assert [f.code for f in result.findings] == ["SIM501"]
+        assert "OS entropy" in result.findings[0].message
+
+    def test_plan_seed_attribute_is_fine(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            import random
+
+            def make_stream(plan):
+                return random.Random(plan.seed)
+            """}, select={"SIM501"})
+        assert result.findings == []
+
+    def test_seed_deriving_call_is_fine(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            import random
+
+            def make_stream(plan, attempt):
+                return random.Random(backoff_seed(plan, attempt))
+            """}, select={"SIM501"})
+        assert result.findings == []
+
+    def test_seedish_parameter_name_is_a_contract(self, lint_tree):
+        # A parameter *named* seed states its own provenance; the
+        # callers that violate it get flagged at their own RNG sites.
+        result = lint_tree({"src/repro/core/x.py": """\
+            import random
+
+            def make_stream(seed):
+                return random.Random(seed)
+            """}, select={"SIM501"})
+        assert result.findings == []
+
+    def test_cross_module_plan_fed_parameter_is_fine(self, lint_tree):
+        result = lint_tree({
+            "src/repro/core/streams.py": """\
+                import random
+
+                def make_stream(n):
+                    return random.Random(n)
+                """,
+            "src/repro/core/driver.py": """\
+                from repro.core.streams import make_stream
+
+                def run(plan):
+                    return make_stream(plan.seed)
+                """,
+        }, select={"SIM501"})
+        assert result.findings == []
+
+    def test_cross_module_unfed_parameter_is_flagged(self, lint_tree):
+        result = lint_tree({
+            "src/repro/core/streams.py": """\
+                import random
+
+                def make_stream(n):
+                    return random.Random(n)
+                """,
+            "src/repro/core/driver.py": """\
+                from repro.core.streams import make_stream
+
+                def run():
+                    return make_stream(1234)
+                """,
+        }, select={"SIM501"})
+        assert [f.code for f in result.findings] == ["SIM501"]
+        assert "no src/ call site feeds" in result.findings[0].message
+        assert result.findings[0].path == "src/repro/core/streams.py"
+
+    def test_two_hop_parameter_chase(self, lint_tree):
+        result = lint_tree({
+            "src/repro/core/streams.py": """\
+                import random
+
+                def make_stream(n):
+                    return random.Random(n)
+
+                def wrapped(m):
+                    return make_stream(m)
+                """,
+            "src/repro/core/driver.py": """\
+                from repro.core.streams import wrapped
+
+                def run(plan):
+                    return wrapped(plan.seed)
+                """,
+        }, select={"SIM501"})
+        assert result.findings == []
+
+    def test_test_call_sites_are_not_evidence(self, lint_tree):
+        # A test passing a literal seed must not count as provenance
+        # for simulator code.
+        result = lint_tree({
+            "src/repro/core/streams.py": """\
+                import random
+
+                def make_stream(n):
+                    return random.Random(n)
+                """,
+            "tests/test_streams.py": """\
+                from repro.core.streams import make_stream
+
+                def test_stream():
+                    assert make_stream(7).random() < 1.0
+                """,
+        }, select={"SIM501"})
+        assert [f.code for f in result.findings] == ["SIM501"]
+
+    def test_rule_is_scoped_to_src(self, lint_tree):
+        result = lint_tree({"tests/test_x.py": """\
+            import random
+
+            def test_stream():
+                assert random.Random(42).random() < 1.0
+            """}, select={"SIM501"})
+        assert result.findings == []
+
+
+class TestSIM502CrossModuleKeyFields:
+    def test_unkeyed_field_read_in_other_module_is_flagged(
+            self, lint_tree):
+        result = lint_tree({
+            "src/repro/core/plans.py": """\
+                import hashlib
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class RoutePlan:
+                    model: str
+                    width: int
+
+                    def cache_key(self):
+                        return hashlib.sha256(
+                            self.model.encode()).hexdigest()
+                """,
+            "src/repro/interconnect/router.py": """\
+                def segments(plan):
+                    return plan.width * 2
+                """,
+        }, select={"SIM502"})
+        assert [f.code for f in result.findings] == ["SIM502"]
+        finding = result.findings[0]
+        assert finding.path == "src/repro/interconnect/router.py"
+        assert "RoutePlan" in finding.message
+        assert "'width'" in finding.message
+
+    def test_keyed_field_is_fine(self, lint_tree):
+        result = lint_tree({
+            "src/repro/core/plans.py": """\
+                import hashlib
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class RoutePlan:
+                    model: str
+                    width: int
+
+                    def cache_key(self):
+                        payload = f"{self.model}:{self.width}"
+                        return hashlib.sha256(
+                            payload.encode()).hexdigest()
+                """,
+            "src/repro/interconnect/router.py": """\
+                def segments(plan):
+                    return plan.width * 2
+                """,
+        }, select={"SIM502"})
+        assert result.findings == []
+
+    def test_whole_object_serialization_is_fine(self, lint_tree):
+        result = lint_tree({
+            "src/repro/core/plans.py": """\
+                import hashlib
+                import json
+                from dataclasses import asdict, dataclass
+
+                @dataclass(frozen=True)
+                class RoutePlan:
+                    model: str
+                    width: int
+
+                    def cache_key(self):
+                        payload = json.dumps(asdict(self),
+                                             sort_keys=True)
+                        return hashlib.sha256(
+                            payload.encode()).hexdigest()
+                """,
+            "src/repro/interconnect/router.py": """\
+                def segments(plan):
+                    return plan.width * 2
+                """,
+        }, select={"SIM502"})
+        assert result.findings == []
+
+    def test_plan_annotated_parameter_counts_as_a_read(
+            self, lint_tree):
+        result = lint_tree({
+            "src/repro/core/plans.py": """\
+                import hashlib
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class RoutePlan:
+                    model: str
+                    width: int
+
+                    def cache_key(self):
+                        return hashlib.sha256(
+                            self.model.encode()).hexdigest()
+                """,
+            "src/repro/interconnect/router.py": """\
+                from repro.core.plans import RoutePlan
+
+                def segments(route: RoutePlan):
+                    return route.width * 2
+                """,
+        }, select={"SIM502"})
+        assert [f.code for f in result.findings] == ["SIM502"]
+
+    def test_reads_of_unrelated_names_are_ignored(self, lint_tree):
+        result = lint_tree({
+            "src/repro/core/plans.py": """\
+                import hashlib
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class RoutePlan:
+                    model: str
+                    width: int
+
+                    def cache_key(self):
+                        return hashlib.sha256(
+                            self.model.encode()).hexdigest()
+                """,
+            "src/repro/interconnect/router.py": """\
+                def segments(spec):
+                    return spec.width * 2
+                """,
+        }, select={"SIM502"})
+        assert result.findings == []

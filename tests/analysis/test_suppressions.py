@@ -1,5 +1,7 @@
 """Inline ``# simlint: disable=...`` suppression semantics."""
 
+from repro.analysis import lint_paths
+
 
 class TestInlineSuppression:
     def test_same_line_suppression(self, lint_tree):
@@ -78,3 +80,121 @@ class TestInlineSuppression:
             """}, select={"SIM101", "SIM102"})
         assert result.findings == []
         assert result.suppressed == 2
+
+
+class TestWildcardScopes:
+    """SIM5xx (family) vs SIMxxx (everything) vs all."""
+
+    def test_sim5xx_covers_the_seedflow_family(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            import random
+
+            def make_stream():
+                return random.Random(42)  # simlint: disable=SIM5xx
+            """}, select={"SIM501"})
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_sim5xx_does_not_leak_into_other_families(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            import random
+
+            def draw():
+                return random.random()  # simlint: disable=SIM5xx
+            """}, select={"SIM101"})
+        assert [f.code for f in result.findings] == ["SIM101"]
+        assert result.suppressed == 0
+
+    def test_simxxx_covers_every_family(self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            import random
+
+            def draw():
+                return random.random()  # simlint: disable=SIMxxx
+
+            def make_stream():
+                return random.Random(42)  # simlint: disable=SIMxxx
+            """}, select={"SIM101", "SIM501"})
+        assert result.findings == []
+        assert result.suppressed == 2
+
+    def test_project_rule_findings_honor_inline_disables(self,
+                                                         lint_tree):
+        # SIM501 is computed in the whole-program pass, long after the
+        # per-file suppression scan; the engine must still apply the
+        # line's disable comment to it.
+        result = lint_tree({"src/repro/core/x.py": """\
+            import random
+
+            def make_stream():
+                return random.Random(42)  # simlint: disable=SIM501
+            """}, select={"SIM501"})
+        assert result.findings == []
+        assert result.suppressed == 1
+
+
+class TestMultiLineStatements:
+    def test_comment_inside_multiline_expression_covers_next_line(
+            self, lint_tree):
+        result = lint_tree({"src/repro/core/x.py": """\
+            import random
+
+            def draw():
+                return (
+                    # simlint: disable=SIM101
+                    random.random()
+                )
+            """}, select={"SIM101"})
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_trailing_comment_on_last_line_misses_the_finding(
+            self, lint_tree):
+        # The disable rides the closing-paren line; the finding is
+        # anchored at the call two lines up, so it must still report.
+        result = lint_tree({"src/repro/core/x.py": """\
+            import random
+
+            def draw():
+                value = (
+                    random.random()
+                )  # simlint: disable=SIM101
+                return value
+            """}, select={"SIM101"})
+        assert [f.code for f in result.findings] == ["SIM101"]
+        assert result.suppressed == 0
+
+
+class TestCRLFSources:
+    def _write_crlf(self, tmp_path, rel, lines):
+        (tmp_path / "pyproject.toml").write_text(
+            "[project]\nname = 'fixture'\n")
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", newline="") as fh:
+            fh.write("\r\n".join(lines) + "\r\n")
+        return [tmp_path / rel.split("/")[0]]
+
+    def test_crlf_disable_comment_still_suppresses(self, tmp_path):
+        tops = self._write_crlf(tmp_path, "src/repro/core/x.py", [
+            "import random",
+            "",
+            "def draw():",
+            "    return random.random()  # simlint: disable=SIM101",
+        ])
+        result = lint_paths(tops, root=tmp_path, select={"SIM101"},
+                            use_cache=False)
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_crlf_source_lints_without_pseudo_codes(self, tmp_path):
+        tops = self._write_crlf(tmp_path, "src/repro/core/x.py", [
+            "import random",
+            "",
+            "def draw():",
+            "    return random.random()",
+        ])
+        result = lint_paths(tops, root=tmp_path, use_cache=False)
+        codes = [f.code for f in result.findings]
+        assert "SIM000" not in codes and "SIM002" not in codes
+        assert "SIM101" in codes

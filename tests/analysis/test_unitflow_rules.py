@@ -1,0 +1,175 @@
+"""SIM6xx: physical-units checking over declarations and builtins."""
+
+
+class TestSIM601UnitArithmetic:
+    def test_mixed_addition_is_flagged(self, lint_tree):
+        result = lint_tree({"src/repro/wires/x.py": """\
+            # simlint: units(delay_s=s, latency_cycles=cycles)
+            def total(delay_s, latency_cycles):
+                return delay_s + latency_cycles
+            """}, select={"SIM601"})
+        assert [f.code for f in result.findings] == ["SIM601"]
+        message = result.findings[0].message
+        assert "'cycles'" in message and "'s'" in message
+
+    def test_mixed_comparison_is_flagged(self, lint_tree):
+        result = lint_tree({"src/repro/wires/x.py": """\
+            # simlint: units(delay_s=s, budget_cycles=cycles)
+            def over(delay_s, budget_cycles):
+                return delay_s > budget_cycles
+            """}, select={"SIM601"})
+        assert [f.code for f in result.findings] == ["SIM601"]
+
+    def test_matching_units_are_fine(self, lint_tree):
+        result = lint_tree({"src/repro/wires/x.py": """\
+            # simlint: units(a_s=s, b_s=s)
+            def total(a_s, b_s):
+                return a_s + b_s
+            """}, select={"SIM601"})
+        assert result.findings == []
+
+    def test_division_erases_units(self, lint_tree):
+        # s / s is a ratio; adding cycles to it is not provably wrong.
+        result = lint_tree({"src/repro/wires/x.py": """\
+            # simlint: units(d_s=s, p_s=s, lat_cycles=cycles)
+            def total(d_s, p_s, lat_cycles):
+                return d_s / p_s + lat_cycles
+            """}, select={"SIM601"})
+        assert result.findings == []
+
+    def test_dimensionless_offsets_are_fine(self, lint_tree):
+        result = lint_tree({"src/repro/wires/x.py": """\
+            # simlint: units(lat_cycles=cycles)
+            def padded(lat_cycles):
+                return lat_cycles + 1
+            """}, select={"SIM601"})
+        assert result.findings == []
+
+    def test_accumulator_seeded_with_zero_is_fine(self, lint_tree):
+        # The `total = 0.0; total += x` idiom must not pin the
+        # accumulator to "dimensionless".
+        result = lint_tree({"src/repro/wires/x.py": """\
+            # simlint: units(step_s=s, return=s)
+            def total(values, step_s):
+                acc = 0.0
+                for value in values:
+                    acc += value * step_s
+                return acc
+            """}, select={"SIM601", "SIM602"})
+        assert result.findings == []
+
+    def test_units_propagate_through_assignment(self, lint_tree):
+        result = lint_tree({"src/repro/wires/x.py": """\
+            # simlint: units(delay_s=s, lat_cycles=cycles)
+            def total(delay_s, lat_cycles):
+                held = delay_s
+                return held + lat_cycles
+            """}, select={"SIM601"})
+        assert [f.code for f in result.findings] == ["SIM601"]
+
+    def test_scope_is_unit_modules_only(self, lint_tree):
+        # No declarations, outside interconnect/wires/metrics: the
+        # pass does not run at all.
+        result = lint_tree({"src/repro/core/x.py": """\
+            def total(a, b):
+                return a + b
+            """}, select={"SIM601"})
+        assert result.findings == []
+
+
+class TestSIM602UnitHandoff:
+    def test_cross_module_handoff_mismatch_is_flagged(self, lint_tree):
+        result = lint_tree({
+            "src/repro/wires/base.py": """\
+                # simlint: units(length_m=m, return=s)
+                def base_delay(length_m):
+                    return 1e-9
+                """,
+            "src/repro/wires/sched.py": """\
+                from repro.wires.base import base_delay
+
+                # simlint: units(lat_cycles=cycles)
+                def schedule(lat_cycles):
+                    return base_delay(lat_cycles)
+                """,
+        }, select={"SIM602"})
+        assert [f.code for f in result.findings] == ["SIM602"]
+        finding = result.findings[0]
+        assert finding.path == "src/repro/wires/sched.py"
+        assert "'cycles'" in finding.message
+        assert "'m'" in finding.message
+
+    def test_matching_handoff_is_fine(self, lint_tree):
+        result = lint_tree({
+            "src/repro/wires/base.py": """\
+                # simlint: units(length_m=m, return=s)
+                def base_delay(length_m):
+                    return 1e-9
+                """,
+            "src/repro/wires/sched.py": """\
+                from repro.wires.base import base_delay
+
+                # simlint: units(span_m=m, return=s)
+                def total_delay(span_m):
+                    return base_delay(span_m)
+                """,
+        }, select={"SIM602"})
+        assert result.findings == []
+
+    def test_keyword_handoff_mismatch_is_flagged(self, lint_tree):
+        result = lint_tree({"src/repro/wires/x.py": """\
+            # simlint: units(length_m=m, return=s)
+            def base_delay(length_m):
+                return 1e-9
+
+            # simlint: units(lat_cycles=cycles)
+            def schedule(lat_cycles):
+                return base_delay(length_m=lat_cycles)
+            """}, select={"SIM602"})
+        assert [f.code for f in result.findings] == ["SIM602"]
+
+    def test_return_unit_mismatch_is_flagged(self, lint_tree):
+        result = lint_tree({"src/repro/wires/x.py": """\
+            # simlint: units(lat_cycles=cycles, return=cycles)
+            def measure(lat_cycles):
+                return lat_cycles
+
+            # simlint: units(lat_cycles=cycles, return=s)
+            def measure_s(lat_cycles):
+                return measure(lat_cycles)
+            """}, select={"SIM602"})
+        assert [f.code for f in result.findings] == ["SIM602"]
+        assert "declared return" in result.findings[0].message
+
+    def test_builtin_registry_pins_real_apis(self, lint_tree):
+        # The builtin table knows repro.interconnect.stats: handing a
+        # seconds value to its cycles parameter is a finding with no
+        # in-source declaration at the call site.
+        result = lint_tree({"src/repro/interconnect/x.py": """\
+            from repro.interconnect.stats import leakage_energy
+
+            # simlint: units(window_s=s)
+            def leak(inventory, window_s):
+                return leakage_energy(inventory, cycles=window_s)
+            """}, select={"SIM602"})
+        assert [f.code for f in result.findings] == ["SIM602"]
+        assert "'s'" in result.findings[0].message
+
+
+class TestSIM603UnitDeclarations:
+    def test_unknown_unit_is_flagged(self, lint_tree):
+        result = lint_tree({"src/repro/wires/x.py": """\
+            # simlint: units(length=metres)
+            def base_delay(length):
+                return 1e-9
+            """}, select={"SIM603"})
+        assert [f.code for f in result.findings] == ["SIM603"]
+        assert "metres" in result.findings[0].message
+
+    def test_known_units_are_fine(self, lint_tree):
+        result = lint_tree({"src/repro/wires/x.py": """\
+            # simlint: units(length=m, return=s)
+            def base_delay(length):
+                return 1e-9
+            """}, select={"SIM603"})
+        assert result.findings == []
