@@ -10,14 +10,19 @@ from conftest import publish
 from repro.harness import render_table
 from repro.wires import (
     CANONICAL_SPECS,
+    TransmissionLineSpec,
     WireClass,
+    clock_frequency_ghz,
     derive_wire_spec,
+    link_length_m,
     minimum_width_geometry,
+    node_scaling,
     optimal_repeater_config,
     repeated_wire_delay,
+    scale_catalog,
+    supply_voltage,
     table2_rows,
     transmission_line_speedup,
-    TransmissionLineSpec,
 )
 
 
@@ -79,20 +84,64 @@ def test_table2(benchmark, results_dir):
             < canonical[WireClass.B].relative_dynamic_energy)
 
 
-def test_transmission_line_comparison(benchmark, results_dir):
+def test_scaled_catalog(benchmark, results_dir, node):
+    """Table 2 re-derived at the requested node (``--node``, default
+    45 nm, where it is bit-identical to the canonical table)."""
+    catalog = benchmark.pedantic(
+        lambda: scale_catalog(node), rounds=1, iterations=1,
+    )
+    scaling = node_scaling(node)
+    rows = [
+        [
+            f"{wc.value}-Wires",
+            f"{spec.relative_delay:.2f}",
+            catalog.crossbar_latency.get(wc, "-"),
+            catalog.ring_hop_latency.get(wc, "-"),
+            f"{spec.relative_leakage:.2f}",
+            f"{spec.relative_dynamic_energy:.2f}",
+            f"{spec.area_factor:.1f}",
+        ]
+        for wc, spec in sorted(catalog.specs.items(),
+                               key=lambda kv: kv[0].value)
+    ]
+    text = render_table(
+        ["Wire", "Rel delay", "Crossbar", "Ring hop", "Rel leakage",
+         "Rel dynamic", "Area"],
+        rows,
+        title=(f"Table 2 at {node} nm "
+               f"(vdd {supply_voltage(node):.2f} V, "
+               f"clock {clock_frequency_ghz(node):.2f} GHz, "
+               f"{link_length_m(node) * 1e3:.1f} mm links, "
+               f"latency x{scaling.latency_factor:.2f}):"),
+    )
+    publish(results_dir, f"table2_{node}nm", text)
+
+    if node == 45:
+        assert catalog.specs == CANONICAL_SPECS
+    # Relative orderings survive scaling: within a node the classes
+    # keep Table 2's delay ranking.
+    assert (catalog.specs[WireClass.L].relative_delay
+            < catalog.specs[WireClass.B].relative_delay
+            < catalog.specs[WireClass.PW].relative_delay)
+
+
+def test_transmission_line_comparison(benchmark, results_dir, node):
     """The paper's 'future work' design point: a transmission line beats
     an equally wide repeated RC wire by more than Chang et al.'s 4/3."""
+    length = link_length_m(node)
+
     def compute():
-        geom = minimum_width_geometry(45.0).scaled(8.0, 8.0)
+        geom = minimum_width_geometry(float(node)).scaled(8.0, 8.0)
         cfg = optimal_repeater_config(geom)
-        rc_delay = repeated_wire_delay(geom, cfg, 10e-3)
+        rc_delay = repeated_wire_delay(geom, cfg, length)
         line = TransmissionLineSpec()
-        return transmission_line_speedup(rc_delay, line, 10e-3)
+        return transmission_line_speedup(rc_delay, line, length)
 
     speedup = benchmark.pedantic(compute, rounds=1, iterations=1)
     publish(results_dir, "transmission_line",
-            f"10mm L-Wire-width wire at 45nm: transmission line is "
-            f"{speedup:.1f}x faster than the repeated RC implementation\n"
+            f"{length * 1e3:.1f}mm L-Wire-width wire at {node}nm: "
+            f"transmission line is {speedup:.1f}x faster than the "
+            f"repeated RC implementation\n"
             f"(paper cites 4/3 at 180nm, 'may widen at future "
             f"technologies')")
     assert speedup > 4 / 3

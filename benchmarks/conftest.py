@@ -22,9 +22,30 @@ import pytest
 
 from repro.core.simulation import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP
 from repro.harness import ExperimentRunner
+from repro.wires import SUPPORTED_NODES
 from repro.workloads.spec2k import BENCHMARK_NAMES
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--node", type=int, default=45,
+        help="technology node in nm for node-aware benches "
+             f"(one of {', '.join(str(n) for n in SUPPORTED_NODES)}; "
+             f"default: 45)",
+    )
+
+
+@pytest.fixture(scope="session")
+def node(request) -> int:
+    value = request.config.getoption("--node")
+    if value not in SUPPORTED_NODES:
+        raise pytest.UsageError(
+            f"--node {value} is not a supported technology node; "
+            f"choose from {', '.join(str(n) for n in SUPPORTED_NODES)}"
+        )
+    return value
 
 
 @pytest.fixture(scope="session")

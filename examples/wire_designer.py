@@ -4,40 +4,58 @@ Shows the three knobs the paper builds its heterogeneous interconnect
 from: wire width/spacing (latency vs. bandwidth), repeater size/spacing
 (latency vs. energy), and transmission lines (the extreme point).
 
-Run:  python examples/wire_designer.py
+Run:  python examples/wire_designer.py [--node NM]
+
+``--node`` moves the study to another technology node (45 down to
+8 nm): the geometry shrinks with the node's half-pitch and the link
+length scales with the die (see repro.wires.scaling).
 """
+
+import argparse
 
 from repro.harness import render_table
 from repro.wires import (
+    SUPPORTED_NODES,
     TransmissionLineSpec,
+    clock_frequency_ghz,
+    link_length_m,
     minimum_width_geometry,
     optimal_repeater_config,
     power_optimal_repeater_config,
     repeated_wire_delay,
     repeated_wire_dynamic_energy,
+    supply_voltage,
     transmission_line_speedup,
 )
 
-LENGTH = 10e-3  # a 10 mm global wire
-TECH_NM = 45.0
-
 
 def main() -> None:
-    base = minimum_width_geometry(TECH_NM)
-    base_cfg = optimal_repeater_config(base)
-    base_delay = repeated_wire_delay(base, base_cfg, LENGTH)
-    base_energy = repeated_wire_dynamic_energy(base, base_cfg, LENGTH)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--node", type=int, choices=SUPPORTED_NODES, default=45,
+        help="technology node in nm (default: 45)",
+    )
+    args = parser.parse_args()
+    tech_nm = float(args.node)
+    length = link_length_m(args.node)
 
-    print(f"Reference: minimum-pitch wire at {TECH_NM:.0f} nm, "
-          f"{LENGTH * 1e3:.0f} mm, delay-optimal repeaters\n")
+    base = minimum_width_geometry(tech_nm)
+    base_cfg = optimal_repeater_config(base)
+    base_delay = repeated_wire_delay(base, base_cfg, length)
+    base_energy = repeated_wire_dynamic_energy(base, base_cfg, length)
+
+    print(f"Reference: minimum-pitch wire at {tech_nm:.0f} nm "
+          f"(vdd {supply_voltage(args.node):.2f} V, "
+          f"clock {clock_frequency_ghz(args.node):.2f} GHz), "
+          f"{length * 1e3:.1f} mm link, delay-optimal repeaters\n")
 
     # Knob 1: width and spacing.
     rows = []
     for factor in (1, 2, 4, 8):
         geom = base.scaled(width_factor=factor, spacing_factor=factor)
         cfg = optimal_repeater_config(geom)
-        delay = repeated_wire_delay(geom, cfg, LENGTH)
-        energy = repeated_wire_dynamic_energy(geom, cfg, LENGTH)
+        delay = repeated_wire_delay(geom, cfg, length)
+        energy = repeated_wire_dynamic_energy(geom, cfg, length)
         tracks = 1.0 / factor
         rows.append([
             f"{factor}x", f"{delay / base_delay:.2f}",
@@ -54,8 +72,8 @@ def main() -> None:
     rows = []
     for penalty in (1.0, 1.1, 1.2, 1.5, 2.0):
         cfg = power_optimal_repeater_config(base, delay_penalty=penalty)
-        delay = repeated_wire_delay(base, cfg, LENGTH)
-        energy = repeated_wire_dynamic_energy(base, cfg, LENGTH)
+        delay = repeated_wire_delay(base, cfg, length)
+        energy = repeated_wire_dynamic_energy(base, cfg, length)
         rows.append([
             f"{penalty:.1f}x", f"{delay / base_delay:.2f}",
             f"{energy / base_energy:.2f}",
@@ -73,9 +91,9 @@ def main() -> None:
     # Knob 3: transmission lines.
     wide = base.scaled(8.0, 8.0)
     wide_cfg = optimal_repeater_config(wide)
-    wide_delay = repeated_wire_delay(wide, wide_cfg, LENGTH)
+    wide_delay = repeated_wire_delay(wide, wide_cfg, length)
     line = TransmissionLineSpec()
-    speedup = transmission_line_speedup(wide_delay, line, LENGTH)
+    speedup = transmission_line_speedup(wide_delay, line, length)
     print(f"\nKnob 3 -- transmission line vs. the 8x-wide RC wire: "
           f"{speedup:.1f}x faster")
     print(f"  (ripple velocity {line.propagation_velocity() / 2.998e8:.2f}c;"

@@ -178,6 +178,32 @@ def _add_window_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _int_tuple(text: str):
+    """argparse type: comma-separated integers -> tuple."""
+    try:
+        return tuple(int(part) for part in text.split(",") if part != "")
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+
+
+def _budget(text: str) -> int:
+    """argparse type: exploration point budget, >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--budget expects a whole number of design points, "
+            f"got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"--budget must be at least 1, got {value}"
+        )
+    return value
+
+
 def _add_fault_spec_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--fault-spec", type=_fault_spec, default="", metavar="SPEC",
@@ -342,6 +368,56 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: 600)")
     _add_window_args(p)
     _add_fault_spec_arg(p)
+
+    p = sub.add_parser(
+        "explore",
+        help="design-space exploration: node-scaled wire catalogs and "
+             "the ED^2 Pareto frontier over heterogeneous plane mixes "
+             "(DESIGN.md section 14)",
+    )
+    p.add_argument("--nodes", type=_int_tuple, default=(45, 32, 22),
+                   metavar="NM,NM,...",
+                   help="technology nodes to search, in nm "
+                        "(default: 45,32,22)")
+    p.add_argument("--budget", type=_budget, default=64, metavar="N",
+                   help="max design points to evaluate; larger spaces "
+                        "fall back to seeded sampling + refinement "
+                        "(default: 64)")
+    p.add_argument("--topologies", default="xbar4",
+                   metavar="TOPO,TOPO,...",
+                   help="topologies to search: xbar4 and/or ring16 "
+                        "(default: xbar4)")
+    p.add_argument("--b-wires", type=_int_tuple, default=(144, 288),
+                   metavar="N,N,...",
+                   help="B-Wire count options, bidirectional totals "
+                        "(default: 144,288)")
+    p.add_argument("--pw-wires", type=_int_tuple, default=(0, 288),
+                   metavar="N,N,...",
+                   help="PW-Wire count options; 0 = no plane "
+                        "(default: 0,288)")
+    p.add_argument("--l-wires", type=_int_tuple, default=(0, 36),
+                   metavar="N,N,...",
+                   help="L-Wire count options; 0 = no plane "
+                        "(default: 0,36)")
+    p.add_argument("--fraction", type=float, default=0.2,
+                   metavar="F",
+                   help="interconnect share of baseline chip energy "
+                        "(the paper's tables use 0.10/0.20; "
+                        "default: 0.2)")
+    p.add_argument("--csv", default=None, metavar="PATH",
+                   help="also write every evaluated point "
+                        "(dominance-ranked) as CSV to PATH")
+    p.add_argument("--submit", action="store_true",
+                   help="route plan waves through a running "
+                        "'repro serve' instead of simulating locally")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="sweep-service host for --submit")
+    p.add_argument("--port", type=_port, default=8642,
+                   help="sweep-service port for --submit")
+    p.add_argument("--timeout", type=_positive_seconds, default=600.0,
+                   metavar="SECONDS",
+                   help="per-wave wait when submitting (default: 600)")
+    _add_window_args(p)
 
     p = sub.add_parser(
         "status",
@@ -669,6 +745,88 @@ def _cmd_status(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from .explore import (
+        TOPOLOGIES,
+        EvaluationSettings,
+        SearchSpace,
+        explore,
+        runner_executor,
+        service_executor,
+    )
+    from .explore.report import frontier_table, to_csv
+
+    topologies = tuple(
+        part for part in args.topologies.split(",") if part
+    )
+    unknown = [t for t in topologies if t not in TOPOLOGIES]
+    if unknown:
+        print(f"unknown topology {unknown[0]!r}; choose from "
+              f"{', '.join(sorted(TOPOLOGIES))}", file=sys.stderr)
+        return 2
+    try:
+        space = SearchSpace(
+            nodes=tuple(args.nodes),
+            b_options=tuple(args.b_wires),
+            pw_options=tuple(args.pw_wires),
+            l_options=tuple(args.l_wires),
+            topologies=topologies,
+        )
+    except ValueError as exc:
+        print(f"bad search space: {exc}", file=sys.stderr)
+        return 2
+    settings = EvaluationSettings(
+        benchmarks=tuple(args.benchmarks or BENCHMARK_NAMES),
+        instructions=args.instructions, warmup=args.warmup,
+        seed=args.seed, interconnect_fraction=args.fraction,
+    )
+
+    profiler = None
+    if _wants_telemetry(args):
+        from .harness.profiling import HarnessProfiler
+
+        profiler = HarnessProfiler()
+
+    if args.submit:
+        from .service import ServiceClient
+
+        client = ServiceClient(host=args.host, port=args.port)
+        execute = service_executor(client, timeout=args.timeout)
+    else:
+        runner = _make_runner(args, profiler=profiler)
+        execute = runner_executor(runner, workers=args.workers)
+
+    try:
+        result = explore(space, settings, execute,
+                         budget=args.budget, seed=args.seed,
+                         profiler=profiler)
+    except Exception as exc:
+        if args.submit:
+            from .service import Backpressure, ServiceError
+
+            if isinstance(exc, Backpressure):
+                print(f"rejected: {exc.message} (Retry-After: "
+                      f"{exc.retry_after}s)", file=sys.stderr)
+                return 3
+            if isinstance(exc, ServiceError):
+                print(f"exploration failed: {exc}", file=sys.stderr)
+                return 2
+            if isinstance(exc, (ConnectionError, OSError)):
+                print(f"cannot reach {args.host}:{args.port}: {exc} "
+                      f"(is 'repro serve' running?)", file=sys.stderr)
+                return 2
+        raise
+
+    print(frontier_table(result))
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(to_csv(result))
+        print(f"wrote {len(result.evaluated)} evaluated point(s) "
+              f"to {args.csv}")
+    _finish_profiled(args, profiler)
+    return 1 if result.failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     # CLI runs default to the event-driven fast engine; REPRO_ENGINE in
     # the environment (e.g. "scalar") still wins.  The override is
@@ -716,6 +874,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
         return _cmd_submit(args)
     if command == "status":
         return _cmd_status(args)
+    if command == "explore":
+        return _cmd_explore(args)
 
     # Sweep commands: --telemetry/--trace-out attach a wall-clock
     # harness profiler (cache probes, runs, workers) to the runner.

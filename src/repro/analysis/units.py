@@ -35,7 +35,9 @@ KNOWN_UNITS = frozenset({
     # energy / power
     "J", "pJ", "W",
     # information / geometry / electrical
-    "bits", "m", "nm", "ohm", "F", "V",
+    "bits", "m", "nm", "mm2", "ohm", "F", "V",
+    # frequency
+    "GHz",
     # paper-normalized relative quantities (Table 2 style)
     "rel_delay", "rel_energy", "rel_leakage",
     # explicitly dimensionless (ratios, counts, factors)
@@ -76,6 +78,19 @@ BUILTIN_UNITS: Dict[str, Dict[str, str]] = {
         "return": "rel_energy"},
     "repro.interconnect.stats.leakage_energy": {
         "cycles": "cycles", "return": "rel_energy"},
+    # wires.scaling -- technology-node vocabulary (the explorer's
+    # inputs: nodes in nm, supplies in V, clocks in GHz, metal area
+    # in mm2).  scaling.py also self-declares these via in-source
+    # ``# simlint: units(...)`` comments; listing them here keeps the
+    # vocabulary authoritative even if the comments drift.
+    "repro.wires.scaling.supply_voltage": {
+        "node": "nm", "return": "V"},
+    "repro.wires.scaling.clock_frequency_ghz": {
+        "node": "nm", "return": "GHz"},
+    "repro.wires.scaling.link_length_m": {
+        "node": "nm", "return": "m"},
+    "repro.wires.scaling.link_metal_area_mm2": {
+        "node": "nm", "return": "mm2"},
 }
 
 

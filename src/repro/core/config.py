@@ -19,7 +19,7 @@ from ..interconnect.topology import (
     Topology,
 )
 from ..memory.hierarchy import HierarchyConfig
-from ..wires import WireClass
+from ..wires import WireClass, WireSpec
 
 
 @dataclass(frozen=True)
@@ -85,18 +85,26 @@ class ProcessorConfig:
 
 @dataclass(frozen=True)
 class InterconnectConfig:
-    """A link composition and the policy that drives wire selection."""
+    """A link composition and the policy that drives wire selection.
+
+    ``wire_specs`` optionally overrides the per-class electrical
+    parameters with a node-scaled catalog (see
+    :func:`repro.wires.scale_catalog`); None keeps Table 2's 45 nm
+    values.
+    """
 
     wires: Mapping[WireClass, int]
     flags: PolicyFlags = field(default_factory=PolicyFlags)
     cache_width_factor: int = 2
+    wire_specs: Mapping[WireClass, WireSpec] = None
 
     def __post_init__(self) -> None:
         if not self.wires:
             raise ValueError("interconnect needs at least one wire plane")
 
     def build_composition(self) -> LinkComposition:
-        return LinkComposition(dict(self.wires), self.cache_width_factor)
+        return LinkComposition(dict(self.wires), self.cache_width_factor,
+                               specs=self.wire_specs)
 
     def describe(self) -> str:
         return self.build_composition().describe()

@@ -1,0 +1,56 @@
+"""Design-space exploration over tech nodes and heterogeneous links.
+
+The paper evaluates ten hand-picked wire mixes at one technology node.
+This package turns that fixed menu into a searchable space:
+
+* :mod:`repro.explore.space` -- the :class:`DesignPoint` model (node x
+  plane mix x topology) and its canonical, cache-key-compatible
+  encoding;
+* :mod:`repro.explore.search` -- drivers that compile design points
+  into :class:`~repro.harness.runner.ExperimentPlan` sweeps (exhaustive
+  for small spaces, seeded random sampling plus local-neighbourhood
+  refinement for large ones);
+* :mod:`repro.explore.pareto` -- non-dominated sets and dominance
+  ranks over (ED^2, IPC, energy, area);
+* :mod:`repro.explore.report` -- frontier tables and CSV output.
+
+``repro explore`` on the command line drives all of it.
+"""
+
+from .pareto import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    dominance_ranks,
+    dominates,
+    objective_vector,
+    pareto_frontier,
+)
+from .search import (
+    EvaluationSettings,
+    ExploreResult,
+    SearchSpace,
+    baseline_point,
+    explore,
+    runner_executor,
+    service_executor,
+)
+from .space import TOPOLOGIES, DesignPoint, PointMetrics
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "Objective",
+    "dominance_ranks",
+    "dominates",
+    "objective_vector",
+    "pareto_frontier",
+    "EvaluationSettings",
+    "ExploreResult",
+    "SearchSpace",
+    "baseline_point",
+    "explore",
+    "runner_executor",
+    "service_executor",
+    "TOPOLOGIES",
+    "DesignPoint",
+    "PointMetrics",
+]

@@ -188,6 +188,12 @@ class ResultCache:
     fail validation (truncated rewrite, wrong ``cache_version``, missing
     or mistyped fields) are moved into a ``quarantine/`` subdirectory so
     they can be inspected without ever being served as results.
+
+    Entries are sharded two directory levels deep by cache-key prefix
+    (``ab/cd/abcd....json``) so frontier sweeps writing tens of
+    thousands of results never produce one giant flat directory.  The
+    pre-sharding flat layout is still readable: a flat entry is
+    migrated into its shard on first load.
     """
 
     def __init__(self, directory: Optional[Path] = None,
@@ -209,7 +215,26 @@ class ResultCache:
             self.enabled = enabled
 
     def _path(self, plan: ExperimentPlan) -> Path:
-        return self.directory / f"{plan.cache_key()}.json"
+        key = plan.cache_key()
+        return self.directory / key[:2] / key[2:4] / f"{key}.json"
+
+    def _migrate_legacy(self, sharded: Path) -> Optional[Path]:
+        """Move a flat-layout entry into its shard (best effort).
+
+        Returns the path to read from -- the sharded location after a
+        successful move, the flat file itself if the move failed (e.g.
+        a read-only cache directory), or None when no flat entry
+        exists.
+        """
+        legacy = self.directory / sharded.name
+        if not legacy.is_file():
+            return None
+        try:
+            sharded.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(legacy, sharded)
+            return sharded
+        except OSError:
+            return legacy
 
     def _quarantine(self, path: Path) -> None:
         """Move a bad cache file out of the way (best effort)."""
@@ -270,7 +295,13 @@ class ResultCache:
         try:
             text = path.read_text()
         except OSError:
-            return None
+            path = self._migrate_legacy(path)
+            if path is None:
+                return None
+            try:
+                text = path.read_text()
+            except OSError:
+                return None
         try:
             data = self._validate(json.loads(text))
         except json.JSONDecodeError:
@@ -300,7 +331,6 @@ class ResultCache:
 
     def _store(self, plan: ExperimentPlan, run: BenchmarkRun,
                duration: Optional[float]) -> None:
-        self.directory.mkdir(parents=True, exist_ok=True)
         payload = {
             "benchmark": run.benchmark,
             "instructions": run.instructions,
@@ -316,10 +346,11 @@ class ResultCache:
             },
         }
         path = self._path(plan)
+        path.parent.mkdir(parents=True, exist_ok=True)
         # Atomic publish: a same-directory temp file renamed over the
         # target, so readers only ever see complete JSON.
         fd, tmp_name = tempfile.mkstemp(
-            prefix=path.name + ".", suffix=".tmp", dir=self.directory
+            prefix=path.name + ".", suffix=".tmp", dir=path.parent
         )
         try:
             with os.fdopen(fd, "w") as handle:

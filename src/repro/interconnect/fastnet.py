@@ -88,8 +88,8 @@ def _chan_order(chan: "_Chan") -> Tuple[str, str]:
 class BatchedStats(InterconnectStats):
     """Tally-based :class:`InterconnectStats`; folds lazily on read."""
 
-    def __init__(self) -> None:
-        super().__init__()
+    def __init__(self, specs=None) -> None:
+        super().__init__(specs=specs)
         #: (wire_class, bits, energy_weight, kind) -> grant count, in
         #: first-grant order (dict insertion order).
         self._tally: Dict[Tuple[WireClass, int, int, TransferKind], int] = {}
@@ -140,7 +140,7 @@ class BatchedNetwork(Network):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        self.stats = BatchedStats()
+        self.stats = BatchedStats(specs=self.composition.specs_map())
         #: Per-kind arrival dispatch for pooled (callback-free)
         #: transfers; installed by the event core.
         self._final_handlers: Dict[TransferKind, Handler] = {}

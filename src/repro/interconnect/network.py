@@ -118,7 +118,7 @@ class Network:
             else NULL_TELEMETRY
         self.selector = self.SELECTOR_CLS(composition, flags,
                                           telemetry=self.telemetry)
-        self.stats = InterconnectStats()
+        self.stats = InterconnectStats(specs=composition.specs_map())
         self.injector = injector
         # Per (out-channel, plane) FIFO queues; only non-empty ones are in
         # ``_active`` so an idle network costs nothing per tick.
@@ -565,7 +565,8 @@ class Network:
         return inventory
 
     def leakage_energy(self, cycles: int) -> float:
-        return leakage_energy(self.wire_inventory(), cycles)
+        return leakage_energy(self.wire_inventory(), cycles,
+                              specs=self.composition.specs_map())
 
 
 def _queue_order(key: Tuple[str, WireClass]) -> Tuple[str, str]:

@@ -54,15 +54,19 @@ class LinkComposition:
     Constructed from *bidirectional totals* as the paper's tables quote
     them ("144 B-Wires" = 72 per direction).  ``cache_width_factor``
     scales the planes of links touching the centralized data cache, which
-    the paper gives twice the metal area.
+    the paper gives twice the metal area.  ``specs`` overrides the
+    electrical parameters per class (a node-scaled catalog); classes not
+    in the mapping keep the canonical Table 2 values.
     """
 
     def __init__(self, wires_total: Mapping[WireClass, int],
-                 cache_width_factor: int = 2) -> None:
+                 cache_width_factor: int = 2,
+                 specs: Mapping[WireClass, WireSpec] = None) -> None:
         if not wires_total:
             raise ValueError("a link needs at least one wire plane")
         if cache_width_factor < 1:
             raise ValueError("cache width factor must be >= 1")
+        specs = {} if specs is None else dict(specs)
         self._planes: Dict[WireClass, PlaneSpec] = {}
         for wire_class, total in wires_total.items():
             if total <= 0:
@@ -73,9 +77,24 @@ class LinkComposition:
                     "(bidirectional total)"
                 )
             self._planes[wire_class] = PlaneSpec(
-                wire_class=wire_class, width=total // 2
+                wire_class=wire_class, width=total // 2,
+                spec=specs.get(wire_class),
             )
         self.cache_width_factor = cache_width_factor
+        self._specs = specs
+
+    def specs_map(self) -> Dict[WireClass, WireSpec]:
+        """Effective per-class electrical parameters of this link.
+
+        Canonical Table 2 for every class, overlaid with any node-scaled
+        overrides this composition was built with -- the mapping energy
+        accounting should weigh transfers by.
+        """
+        merged = dict(CANONICAL_SPECS)
+        merged.update(self._specs)
+        for wire_class, plane in self._planes.items():
+            merged[wire_class] = plane.spec
+        return merged
 
     @property
     def wire_classes(self) -> Iterable[WireClass]:

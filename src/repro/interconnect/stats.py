@@ -12,9 +12,9 @@ normalization against Model I.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
-from ..wires import CANONICAL_SPECS, WireClass
+from ..wires import CANONICAL_SPECS, WireClass, WireSpec
 from .message import TransferKind
 
 
@@ -43,6 +43,13 @@ class InterconnectStats:
     retransmissions: int = 0
     retry_escalations: int = 0
     degraded_reroutes: int = 0
+    # Per-class electrical parameters the energy model weighs traffic
+    # with; None means the canonical Table 2 catalog.  Excluded from
+    # equality so the dual-engine bit-exactness contract keeps comparing
+    # counters only.
+    specs: Optional[Mapping[WireClass, WireSpec]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def record_segment(self, wire_class: WireClass, bits: int,
                        energy_weight: int, kind: TransferKind) -> None:
@@ -87,9 +94,10 @@ class InterconnectStats:
 
     def dynamic_energy(self) -> float:
         """Relative dynamic energy of all recorded traffic."""
+        specs = self.specs if self.specs is not None else CANONICAL_SPECS
         total = 0.0
         for wire_class, activity in self.by_plane.items():
-            spec = CANONICAL_SPECS[wire_class]
+            spec = specs[wire_class]
             total += activity.weighted_bits * spec.relative_dynamic_energy
         return total
 
@@ -102,17 +110,23 @@ class InterconnectStats:
 
 
 def leakage_energy(wire_inventory: Mapping[WireClass, int],
-                   cycles: int) -> float:
+                   cycles: int,
+                   specs: Optional[Mapping[WireClass, WireSpec]] = None,
+                   ) -> float:
     """Relative leakage energy of a network over ``cycles``.
 
     ``wire_inventory`` maps each wire class to the total number of
     physical wires in the network (all links, both directions).
+    ``specs`` overrides the per-class electrical parameters (a
+    node-scaled catalog); None means the canonical Table 2 values.
     """
     if cycles < 0:
         raise ValueError("cycles must be non-negative")
+    if specs is None:
+        specs = CANONICAL_SPECS
     total = 0.0
     for wire_class, count in wire_inventory.items():
         if count < 0:
             raise ValueError("wire counts must be non-negative")
-        total += count * CANONICAL_SPECS[wire_class].relative_leakage
+        total += count * specs[wire_class].relative_leakage
     return total * cycles

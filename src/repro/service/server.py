@@ -47,7 +47,7 @@ from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from ..core.models import MODEL_NAMES
+from ..core.models import MODEL_NAMES, is_design_point, parse_design_point
 from ..faults import FaultSpec, FaultSpecError
 from ..harness.backoff import DecorrelatedJitter, backoff_seed
 from ..harness.runner import (
@@ -468,10 +468,15 @@ class SweepService:
 
     def _normalize_plan(self, raw: object) -> ExperimentPlan:
         plan = ExperimentPlan.from_dict(raw)
-        if plan.model_name not in MODEL_NAMES:
+        if is_design_point(plan.model_name):
+            # Explorer-minted design points validate structurally: the
+            # parser enforces canonical spelling, a supported node and
+            # sane wire counts.
+            parse_design_point(plan.model_name)
+        elif plan.model_name not in MODEL_NAMES:
             raise ValueError(
                 f"unknown model {plan.model_name!r}; expected one of "
-                f"{', '.join(MODEL_NAMES)}"
+                f"{', '.join(MODEL_NAMES)} or a 'dp@...' design point"
             )
         if plan.benchmark not in BENCHMARK_NAMES:
             raise ValueError(f"unknown benchmark {plan.benchmark!r}")

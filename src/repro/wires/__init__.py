@@ -31,6 +31,20 @@ from .repeaters import (
     repeated_wire_dynamic_energy,
     repeated_wire_leakage_power,
 )
+from .scaling import (
+    FREQ_BASE_GHZ,
+    SCALING_PROFILES,
+    SUPPORTED_NODES,
+    VDD_BASE_V,
+    NodeScaling,
+    ScaledCatalog,
+    clock_frequency_ghz,
+    link_length_m,
+    link_metal_area_mm2,
+    node_scaling,
+    scale_catalog,
+    supply_voltage,
+)
 from .transmission import (
     SPEED_OF_LIGHT,
     TransmissionLineSpec,
@@ -64,4 +78,16 @@ __all__ = [
     "derived_delay_ratio_l_vs_w",
     "paper_delay_ratio_l_vs_w",
     "table2_rows",
+    "FREQ_BASE_GHZ",
+    "SCALING_PROFILES",
+    "SUPPORTED_NODES",
+    "VDD_BASE_V",
+    "NodeScaling",
+    "ScaledCatalog",
+    "clock_frequency_ghz",
+    "link_length_m",
+    "link_metal_area_mm2",
+    "node_scaling",
+    "scale_catalog",
+    "supply_voltage",
 ]

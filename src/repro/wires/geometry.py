@@ -139,6 +139,10 @@ def minimum_width_geometry(technology_nm: float = 45.0) -> WireGeometry:
 
     Width and spacing equal the technology half-pitch; the aspect ratio
     (thickness/width) of global layers is roughly 2.2 at these nodes.
+    The diffusion-barrier liner keeps its 4 nm default down to 16 nm and
+    then thins with the half-pitch (ITRS projects barrier scaling once
+    the liner would otherwise consume the conductor), which keeps the
+    geometry valid at the 11 nm and 8 nm nodes.
     """
     if technology_nm <= 0:
         raise ValueError("technology node must be positive")
@@ -148,6 +152,7 @@ def minimum_width_geometry(technology_nm: float = 45.0) -> WireGeometry:
         spacing=half_pitch,
         thickness=2.2 * half_pitch,
         layer_spacing=2.0 * half_pitch,
+        barrier=min(4.0e-9, 0.25 * half_pitch),
     )
 
 

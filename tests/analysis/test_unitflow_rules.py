@@ -156,6 +156,70 @@ class TestSIM602UnitHandoff:
         assert "'s'" in result.findings[0].message
 
 
+class TestScalingVocabulary:
+    """The tech-node vocabulary (nm, V, GHz, mm2) behind wires.scaling."""
+
+    def test_node_vocabulary_is_known(self, lint_tree):
+        result = lint_tree({"src/repro/wires/x.py": """\
+            # simlint: units(node=nm, return=V)
+            def vdd(node):
+                return 1.0
+
+            # simlint: units(node=nm, return=GHz)
+            def clock(node):
+                return 3.7
+
+            # simlint: units(node=nm, return=mm2)
+            def area(node):
+                return 0.5
+            """}, select={"SIM603"})
+        assert result.findings == []
+
+    def test_builtin_registry_pins_scaling_api(self, lint_tree):
+        # repro.wires.scaling.supply_voltage takes a node in nm; handing
+        # it a length in metres is a provable mix-up.
+        result = lint_tree({"src/repro/wires/x.py": """\
+            from repro.wires.scaling import supply_voltage
+
+            # simlint: units(length_m=m)
+            def vdd_for_length(length_m):
+                return supply_voltage(node=length_m)
+            """}, select={"SIM602"})
+        assert [f.code for f in result.findings] == ["SIM602"]
+        message = result.findings[0].message
+        assert "'m'" in message and "'nm'" in message
+
+    def test_mixing_voltage_and_frequency_is_flagged(self, lint_tree):
+        result = lint_tree({"src/repro/wires/x.py": """\
+            from repro.wires.scaling import (
+                clock_frequency_ghz,
+                supply_voltage,
+            )
+
+            # simlint: units(node=nm)
+            def nonsense(node):
+                return supply_voltage(node) + clock_frequency_ghz(node)
+            """}, select={"SIM601"})
+        assert [f.code for f in result.findings] == ["SIM601"]
+        message = result.findings[0].message
+        assert "'V'" in message and "'GHz'" in message
+
+    def test_matching_node_handoff_is_fine(self, lint_tree):
+        result = lint_tree({"src/repro/wires/x.py": """\
+            from repro.wires.scaling import (
+                link_metal_area_mm2,
+                supply_voltage,
+            )
+
+            # simlint: units(node=nm, tracks=1)
+            def figures(node, tracks):
+                vdd = supply_voltage(node)
+                area = link_metal_area_mm2(tracks, node)
+                return vdd * vdd * area
+            """}, select={"SIM601", "SIM602"})
+        assert result.findings == []
+
+
 class TestSIM603UnitDeclarations:
     def test_unknown_unit_is_flagged(self, lint_tree):
         result = lint_tree({"src/repro/wires/x.py": """\

@@ -1,0 +1,142 @@
+"""Pareto dominance invariants, property-tested with hypothesis."""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.explore.pareto import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    dominance_ranks,
+    dominates,
+    objective_vector,
+    pareto_frontier,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Candidate:
+    ed2: float
+    ipc: float
+    energy: float
+    area_mm2: float
+
+
+values = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+candidates = st.builds(Candidate, ed2=values, ipc=values,
+                       energy=values, area_mm2=values)
+
+candidate_lists = st.lists(candidates, min_size=0, max_size=40)
+
+_KEY = lambda c: (c.ed2, c.ipc, c.energy, c.area_mm2)  # noqa: E731
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        best = objective_vector(Candidate(1, 9, 1, 1), DEFAULT_OBJECTIVES)
+        worse = objective_vector(Candidate(2, 8, 2, 2), DEFAULT_OBJECTIVES)
+        assert dominates(best, worse)
+        assert not dominates(worse, best)
+
+    def test_maximized_objectives_are_negated(self):
+        # Higher IPC must *help*: equal elsewhere, more IPC dominates.
+        fast = objective_vector(Candidate(1, 9, 1, 1), DEFAULT_OBJECTIVES)
+        slow = objective_vector(Candidate(1, 3, 1, 1), DEFAULT_OBJECTIVES)
+        assert dominates(fast, slow)
+
+    @given(candidates)
+    def test_irreflexive(self, c):
+        vec = objective_vector(c, DEFAULT_OBJECTIVES)
+        assert not dominates(vec, vec)
+
+    @given(candidates, candidates)
+    def test_antisymmetric(self, a, b):
+        u = objective_vector(a, DEFAULT_OBJECTIVES)
+        v = objective_vector(b, DEFAULT_OBJECTIVES)
+        assert not (dominates(u, v) and dominates(v, u))
+
+    @given(candidates, candidates, candidates)
+    def test_transitive(self, a, b, c):
+        u, v, w = (objective_vector(x, DEFAULT_OBJECTIVES)
+                   for x in (a, b, c))
+        if dominates(u, v) and dominates(v, w):
+            assert dominates(u, w)
+
+
+class TestFrontier:
+    @given(candidate_lists)
+    @settings(max_examples=200)
+    def test_no_frontier_member_is_dominated(self, items):
+        frontier = pareto_frontier(items, DEFAULT_OBJECTIVES,
+                                   sort_key=_KEY)
+        vectors = [objective_vector(c, DEFAULT_OBJECTIVES)
+                   for c in items]
+        for member in frontier:
+            mv = objective_vector(member, DEFAULT_OBJECTIVES)
+            assert not any(dominates(v, mv) for v in vectors)
+
+    @given(candidate_lists)
+    @settings(max_examples=200)
+    def test_every_non_member_is_dominated_or_duplicate(self, items):
+        frontier = pareto_frontier(items, DEFAULT_OBJECTIVES,
+                                   sort_key=_KEY)
+        for c in items:
+            if c in frontier:
+                continue
+            cv = objective_vector(c, DEFAULT_OBJECTIVES)
+            assert any(
+                dominates(objective_vector(m, DEFAULT_OBJECTIVES), cv)
+                for m in frontier
+            ) or any(objective_vector(m, DEFAULT_OBJECTIVES) == cv
+                     for m in frontier)
+
+    @given(candidate_lists, st.randoms(use_true_random=False))
+    @settings(max_examples=200)
+    def test_invariant_under_permutation(self, items, rng):
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert (pareto_frontier(items, DEFAULT_OBJECTIVES, sort_key=_KEY)
+                == pareto_frontier(shuffled, DEFAULT_OBJECTIVES,
+                                   sort_key=_KEY))
+
+    @given(candidate_lists)
+    @settings(max_examples=200)
+    def test_invariant_under_duplication(self, items):
+        assert (pareto_frontier(items, DEFAULT_OBJECTIVES, sort_key=_KEY)
+                == pareto_frontier(items * 2, DEFAULT_OBJECTIVES,
+                                   sort_key=_KEY))
+
+    def test_single_objective_is_argmin(self):
+        items = [Candidate(e, 1, 1, 1) for e in (5.0, 2.0, 7.0, 2.0)]
+        frontier = pareto_frontier(items, (Objective("ed2"),),
+                                   sort_key=_KEY)
+        assert frontier == (Candidate(2.0, 1, 1, 1),)
+
+
+class TestDominanceRanks:
+    @given(candidate_lists)
+    @settings(max_examples=100)
+    def test_rank_zero_is_the_frontier(self, items):
+        ranked = dominance_ranks(items, DEFAULT_OBJECTIVES,
+                                 sort_key=_KEY)
+        rank0 = tuple(c for rank, c in ranked if rank == 0)
+        assert rank0 == pareto_frontier(items, DEFAULT_OBJECTIVES,
+                                        sort_key=_KEY)
+
+    @given(candidate_lists)
+    @settings(max_examples=100)
+    def test_every_item_is_ranked_once(self, items):
+        ranked = dominance_ranks(items, DEFAULT_OBJECTIVES,
+                                 sort_key=_KEY)
+        assert sorted((c for _, c in ranked), key=_KEY) \
+            == sorted(set(items), key=_KEY)
+
+    def test_ranks_peel_in_layers(self):
+        layers = [Candidate(r, 1, r, r) for r in (0.0, 1.0, 2.0)]
+        ranked = dict(
+            (c, rank)
+            for rank, c in dominance_ranks(layers, DEFAULT_OBJECTIVES,
+                                           sort_key=_KEY)
+        )
+        assert ranked == {layers[0]: 0, layers[1]: 1, layers[2]: 2}

@@ -86,10 +86,14 @@ class TestParallelCacheIntegrity:
         import json
 
         runner, _ = run_all(tmp_path, workers=4)
-        files = sorted(tmp_path.glob("*"))
+        files = sorted(p for p in tmp_path.rglob("*") if p.is_file())
         assert len(files) == len(PLANS)
         for path in files:
             assert path.suffix == ".json"
+            # Entries are sharded two levels deep by key prefix.
+            assert path.parent.parent.parent == tmp_path
+            assert path.name.startswith(path.parent.parent.name
+                                        + path.parent.name)
             json.loads(path.read_text())  # every file parses completely
 
     def test_flag_override_models_cross_process(self, tmp_path):

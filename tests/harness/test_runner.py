@@ -67,6 +67,48 @@ class TestResultCache:
         cache.store(plan, run)
         assert cache.load(plan) == run
 
+    def test_entries_are_sharded_two_levels(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        plan = ExperimentPlan("I", "gzip")
+        cache.store(plan, make_run())
+        path = cache._path(plan)
+        key = plan.cache_key()
+        assert path == tmp_path / key[:2] / key[2:4] / f"{key}.json"
+        assert path.exists()
+
+    def test_legacy_flat_entry_migrates_on_load(self, tmp_path):
+        # Caches written before sharding kept every entry at the top
+        # level; the read path must still find them -- and move them
+        # into their shard so the directory converges.
+        cache = ResultCache(tmp_path)
+        plan = ExperimentPlan("I", "gzip")
+        run = make_run()
+        cache.store(plan, run)
+        sharded = cache._path(plan)
+        flat = tmp_path / sharded.name
+        sharded.rename(flat)
+        sharded.parent.rmdir()
+        sharded.parent.parent.rmdir()
+
+        assert cache.load(plan) == run
+        assert sharded.exists()
+        assert not flat.exists()
+        # Second load comes straight from the shard.
+        assert cache.load(plan) == run
+
+    def test_corrupt_legacy_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        plan = ExperimentPlan("I", "gzip")
+        cache.store(plan, make_run())
+        sharded = cache._path(plan)
+        flat = tmp_path / sharded.name
+        sharded.rename(flat)
+        flat.write_text("{not json")
+
+        assert cache.load(plan) is None
+        assert not flat.exists()
+        assert (tmp_path / "quarantine" / sharded.name).exists()
+
     def test_corrupt_file_ignored(self, tmp_path):
         cache = ResultCache(tmp_path)
         plan = ExperimentPlan("I", "gzip")
@@ -169,7 +211,7 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         for i in range(20):
             cache.store(ExperimentPlan("I", "gzip", seed=i), make_run())
-        names = [p.name for p in tmp_path.iterdir()]
+        names = [p.name for p in tmp_path.rglob("*") if p.is_file()]
         assert len(names) == 20
         assert all(n.endswith(".json") for n in names)
 
@@ -193,7 +235,7 @@ class TestResultCache:
         for t in threads:
             t.join()
         # Exactly one file, and it parses as one of the writers' values.
-        files = list(tmp_path.glob("*"))
+        files = [p for p in tmp_path.rglob("*") if p.is_file()]
         assert [f.name for f in files] == [cache._path(plan).name]
         loaded = cache.load(plan)
         assert loaded is not None

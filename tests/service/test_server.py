@@ -95,6 +95,26 @@ class TestValidation:
         assert excinfo.value.status == 400
         assert "unknown model" in excinfo.value.message
 
+    def test_design_point_model_is_accepted(self, fake_execute, serve):
+        client = serve().client()
+        job = client.submit(
+            [plan_for("gzip", model="dp@n32:B144+L36:cw2")]
+        )
+        assert job["state"] in ("queued", "running", "done")
+
+    def test_malformed_design_point_is_400(self, fake_execute, serve):
+        client = serve().client()
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit([plan_for("gzip", model="dp@n32:Q9:cw2")])
+        assert excinfo.value.status == 400
+
+    def test_unsupported_node_design_point_is_400(self, fake_execute,
+                                                  serve):
+        client = serve().client()
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit([plan_for("gzip", model="dp@n90:B144:cw2")])
+        assert excinfo.value.status == 400
+
     def test_unknown_benchmark_is_400(self, fake_execute, serve):
         client = serve().client()
         with pytest.raises(ServiceError) as excinfo:
