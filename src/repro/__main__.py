@@ -27,15 +27,18 @@ from .harness import (
     render_claims,
     render_faultsweep,
     render_figure3,
+    render_powersweep,
     render_table,
     render_table3,
     render_table4,
     run_claims,
     run_faultsweep,
     run_figure3,
+    run_powersweep,
     run_table3,
     run_table4,
 )
+from .power import GatingPolicy, GatingSpecError
 from .wires import table2_rows
 from .workloads.spec2k import BENCHMARK_NAMES, PROFILES
 
@@ -103,6 +106,19 @@ def _fault_spec(text: str) -> str:
         return FaultSpec.parse(text).canonical()
     except FaultSpecError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _gating_spec(text: str) -> str:
+    """argparse type: gating-policy string, normalized to canonical form.
+
+    "never" (and "") normalize to "", the always-on configuration that
+    builds no power manager at all.
+    """
+    try:
+        policy = GatingPolicy.parse(text)
+    except GatingSpecError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return "" if policy.is_never else policy.canonical()
 
 
 def _service_fault_spec(text: str) -> str:
@@ -212,6 +228,15 @@ def _add_fault_spec_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_gating_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--gating", type=_gating_spec, default="", metavar="POLICY",
+        help="plane gating policy: 'never', "
+             "'idle:drowsy=64,gate=256' or "
+             "'ewma:halflife=64,thr=0.5' (default: never)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -245,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--latency-scale", type=float, default=1.0)
     _add_window_args(p)
     _add_fault_spec_arg(p)
+    _add_gating_arg(p)
 
     p = sub.add_parser(
         "faults",
@@ -253,6 +279,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", default="X", choices=MODEL_NAMES)
     _add_window_args(p)
     _add_fault_spec_arg(p)
+    _add_gating_arg(p)
+
+    p = sub.add_parser(
+        "power",
+        help="plane-gating power sweep: leakage/ED^2/IPC trade-off "
+             "table over gating policies (ROADMAP item 5)",
+    )
+    p.add_argument("--model", default="X", choices=MODEL_NAMES)
+    _add_window_args(p)
+    _add_fault_spec_arg(p)
+    p.add_argument(
+        "--gating", type=_gating_spec, default="", metavar="POLICY",
+        help="extra gating scenario appended to the default sweep",
+    )
 
     p = sub.add_parser(
         "trace",
@@ -277,6 +317,7 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"workload RNG seed (default: {DEFAULT_SEED})",
     )
     _add_fault_spec_arg(p)
+    _add_gating_arg(p)
     p.add_argument(
         "--out", default=None, metavar="PATH",
         help="write the Chrome-trace JSON here (load in Perfetto or "
@@ -368,6 +409,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: 600)")
     _add_window_args(p)
     _add_fault_spec_arg(p)
+    _add_gating_arg(p)
 
     p = sub.add_parser(
         "explore",
@@ -399,6 +441,11 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="N,N,...",
                    help="L-Wire count options; 0 = no plane "
                         "(default: 0,36)")
+    p.add_argument("--gating", type=_gating_spec, nargs="*",
+                   default=None, metavar="POLICY",
+                   help="gating-policy axis, space-separated (e.g. "
+                        "--gating never 'idle:drowsy=64,gate=256'); "
+                        "default: ungated only")
     p.add_argument("--fraction", type=float, default=0.2,
                    metavar="F",
                    help="interconnect share of baseline chip energy "
@@ -490,7 +537,8 @@ def _make_runner(args: argparse.Namespace,
 
 def _traced_simulation(model_name: str, benchmark: str, clusters: int,
                        latency_scale: float, instructions: int,
-                       warmup: int, seed: int, fault_spec: str):
+                       warmup: int, seed: int, fault_spec: str,
+                       gating: str = ""):
     """One telemetry-enabled simulation; returns (run, telemetry)."""
     from .core.simulation import simulate_benchmark
     from .telemetry import RingBufferSink, Telemetry
@@ -503,6 +551,7 @@ def _traced_simulation(model_name: str, benchmark: str, clusters: int,
         num_clusters=clusters, seed=seed,
         latency_scale=latency_scale,
         fault_spec=fault_spec or None, telemetry=telemetry,
+        gating=gating or None,
     )
     return run, telemetry
 
@@ -518,6 +567,7 @@ def _cmd_trace(args: argparse.Namespace) -> str:
     run, telemetry = _traced_simulation(
         args.model, args.benchmark, args.clusters, args.latency_scale,
         args.instructions, args.warmup, args.seed, args.fault_spec,
+        args.gating,
     )
     events = list(telemetry.events())
     lines = [
@@ -533,6 +583,7 @@ def _cmd_trace(args: argparse.Namespace) -> str:
             "benchmark": args.benchmark,
             "seed": args.seed,
             "fault_spec": args.fault_spec,
+            "gating": args.gating,
         }
         write_chrome_trace(args.out, events, metadata=metadata)
         lines.append("")
@@ -558,6 +609,7 @@ def _cmd_run(args: argparse.Namespace) -> str:
         num_clusters=args.clusters, latency_scale=args.latency_scale,
         instructions=args.instructions, warmup=args.warmup,
         seed=args.seed, fault_spec=args.fault_spec,
+        gating_policy=args.gating,
     )
     run = runner.run_many([plan])[plan]
     lines = [
@@ -584,6 +636,16 @@ def _cmd_run(args: argparse.Namespace) -> str:
             f"{extra.get('degraded_selections', 0):.0f}, "
             f"planes killed {extra.get('planes_killed', 0):.0f}"
         )
+    if args.gating:
+        lines.append(
+            f"gating ({args.gating}): "
+            f"leakage (rel units) {run.interconnect_leakage:.0f}, "
+            f"wakes {extra.get('plane_wakes', 0):.0f}, "
+            f"gate entries {extra.get('plane_gate_events', 0):.0f}, "
+            f"gated share "
+            f"{extra.get('gated_wire_cycle_share', 0):.1%}, "
+            f"wake energy {extra.get('wake_energy', 0):.1f}"
+        )
     return "\n".join(lines)
 
 
@@ -598,6 +660,7 @@ def _cmd_run_traced(args: argparse.Namespace) -> str:
     run, telemetry = _traced_simulation(
         args.model, args.benchmark, args.clusters, args.latency_scale,
         args.instructions, args.warmup, args.seed, args.fault_spec,
+        args.gating,
     )
     lines = [
         f"model {args.model} ({model(args.model).description}), "
@@ -629,9 +692,30 @@ def _cmd_faults(args: argparse.Namespace,
     result = run_faultsweep(
         runner, model_name=args.model, scenarios=scenarios,
         benchmarks=args.benchmarks, instructions=args.instructions,
-        warmup=args.warmup, seed=args.seed, workers=args.workers,
+        warmup=args.warmup, seed=args.seed,
+        gating_policy=args.gating, workers=args.workers,
     )
     return render_faultsweep(result)
+
+
+def _cmd_power(args: argparse.Namespace,
+               runner: ExperimentRunner) -> str:
+    from .harness.powersweep import (
+        DEFAULT_GATING_SCENARIOS,
+        GatingScenario,
+    )
+
+    scenarios = list(DEFAULT_GATING_SCENARIOS)
+    if args.gating:
+        scenarios.append(GatingScenario(label="custom",
+                                        policy=args.gating))
+    result = run_powersweep(
+        runner, model_name=args.model, scenarios=scenarios,
+        benchmarks=args.benchmarks, instructions=args.instructions,
+        warmup=args.warmup, seed=args.seed,
+        fault_spec=args.fault_spec, workers=args.workers,
+    )
+    return render_powersweep(result)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -664,6 +748,7 @@ def _submit_plans(args: argparse.Namespace) -> List[ExperimentPlan]:
             latency_scale=args.latency_scale,
             instructions=args.instructions, warmup=args.warmup,
             seed=args.seed, fault_spec=args.fault_spec,
+            gating_policy=args.gating,
         )
         for model_name in args.models
         for benchmark in benchmarks
@@ -764,6 +849,10 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         print(f"unknown topology {unknown[0]!r}; choose from "
               f"{', '.join(sorted(TOPOLOGIES))}", file=sys.stderr)
         return 2
+    gating_policies = ("",)
+    if args.gating is not None:
+        # Canonicalized by the argparse type; dedupe preserving order.
+        gating_policies = tuple(dict.fromkeys(args.gating)) or ("",)
     try:
         space = SearchSpace(
             nodes=tuple(args.nodes),
@@ -771,6 +860,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             pw_options=tuple(args.pw_wires),
             l_options=tuple(args.l_wires),
             topologies=topologies,
+            gating_policies=gating_policies,
         )
     except ValueError as exc:
         print(f"bad search space: {exc}", file=sys.stderr)
@@ -888,6 +978,10 @@ def _main(argv: Optional[List[str]] = None) -> int:
 
     if command == "faults":
         print(_cmd_faults(args, runner))
+        return _finish_profiled(args, profiler)
+
+    if command == "power":
+        print(_cmd_power(args, runner))
         return _finish_profiled(args, profiler)
 
     kwargs = dict(benchmarks=args.benchmarks,

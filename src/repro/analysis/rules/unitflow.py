@@ -37,6 +37,7 @@ from ..units import UnitMismatch, combine_additive, combine_multiplicative
 #: Path prefixes whose files are checked even without declarations.
 SCOPE_PREFIXES = (
     "src/repro/interconnect/",
+    "src/repro/power/",
     "src/repro/wires/",
 )
 SCOPE_FILES = ("src/repro/telemetry/metrics.py",)

@@ -91,6 +91,21 @@ BUILTIN_UNITS: Dict[str, Dict[str, str]] = {
         "node": "nm", "return": "m"},
     "repro.wires.scaling.link_metal_area_mm2": {
         "node": "nm", "return": "mm2"},
+    # power -- plane gating accounting.  Leakage integrates in the
+    # paper-relative unit over a cycle window; wake latencies are
+    # cycles; the grounded figure is absolute watts.  manager.py and
+    # policy.py also self-declare these in-source; listing them here
+    # keeps callers checked even if the comments drift.
+    "repro.power.manager.PlanePowerManager.leakage_energy": {
+        "cycles": "cycles", "return": "rel_energy"},
+    "repro.power.manager.PlanePowerManager.wake_energy": {
+        "return": "rel_energy"},
+    "repro.power.manager.PlanePowerManager.gated_share": {
+        "cycles": "cycles", "return": "1"},
+    "repro.power.manager.leakage_power_watts": {
+        "node": "nm", "return": "W"},
+    "repro.power.policy.GatingPolicy.wake_latency": {
+        "return": "cycles"},
 }
 
 

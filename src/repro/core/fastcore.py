@@ -87,10 +87,11 @@ class EventProcessor(ClusteredProcessor):
     def __init__(self, config: ProcessorConfig,
                  interconnect: InterconnectConfig,
                  annotated: AnnotatedTrace, seed_tag: str = "",
-                 faults=None, telemetry=None) -> None:
+                 faults=None, telemetry=None, gating=None) -> None:
         self._ann = annotated
         super().__init__(config, interconnect, iter(()), seed_tag,
-                         faults=faults, telemetry=telemetry)
+                         faults=faults, telemetry=telemetry,
+                         gating=gating)
         # Replace the live front end with the annotation replayer.  The
         # live FetchUnit built by the base constructor never ticked, so
         # its predictor/BTB/I-cache state is pristine and discardable.

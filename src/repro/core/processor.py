@@ -90,7 +90,8 @@ class ClusteredProcessor:
                  interconnect: InterconnectConfig,
                  supply, seed_tag: str = "",
                  faults: Optional["FaultInjector"] = None,
-                 telemetry: Optional[Telemetry] = None) -> None:
+                 telemetry: Optional[Telemetry] = None,
+                 gating=None) -> None:
         self.config = config
         self.telemetry = telemetry if telemetry is not None \
             else NULL_TELEMETRY
@@ -99,7 +100,8 @@ class ClusteredProcessor:
         self.network = self.NETWORK_CLS(self.topology, composition,
                                         interconnect.flags,
                                         injector=faults,
-                                        telemetry=self.telemetry)
+                                        telemetry=self.telemetry,
+                                        gating=gating)
         self.network.on_plane_kill = self._plane_killed
         self.clusters = [
             self.CLUSTER_CLS(i, cluster_node(i), config.issue_queue_size,
@@ -236,6 +238,8 @@ class ClusteredProcessor:
         """Zero the measured counters (end of warmup)."""
         self.stats = ProcessorStats()
         self.network.stats.__init__()
+        if self.network.power is not None:
+            self.network.power.begin_window(self.cycle)
         self.lsq.loads_disambiguated = 0
         self.lsq.false_dependences = 0
         self.lsq.true_forwards = 0

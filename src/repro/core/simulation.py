@@ -60,7 +60,8 @@ def build_processor(interconnect: InterconnectConfig, benchmark: str,
                     config: Optional[ProcessorConfig] = None,
                     fault_spec: FaultSpecLike = None,
                     telemetry: Optional[Telemetry] = None,
-                    engine: Optional[str] = None
+                    engine: Optional[str] = None,
+                    gating: Optional[str] = None
                     ) -> ClusteredProcessor:
     """A processor wired to one synthetic SPEC2k benchmark."""
     if config is None:
@@ -77,7 +78,7 @@ def build_processor(interconnect: InterconnectConfig, benchmark: str,
         cpu: ClusteredProcessor = EventProcessor(
             config, interconnect, annotated,
             faults=_build_injector(fault_spec, seed, telemetry),
-            telemetry=telemetry,
+            telemetry=telemetry, gating=gating,
         )
         cpu.prewarm(annotated.footprint)
         return cpu
@@ -85,7 +86,7 @@ def build_processor(interconnect: InterconnectConfig, benchmark: str,
     cpu = ClusteredProcessor(
         config, interconnect, generator.stream_forever(),
         faults=_build_injector(fault_spec, seed, telemetry),
-        telemetry=telemetry,
+        telemetry=telemetry, gating=gating,
     )
     cpu.prewarm(generator.data_footprint())
     return cpu
@@ -99,7 +100,8 @@ def simulate_benchmark(interconnect: InterconnectConfig, benchmark: str,
                        config: Optional[ProcessorConfig] = None,
                        fault_spec: FaultSpecLike = None,
                        telemetry: Optional[Telemetry] = None,
-                       engine: Optional[str] = None
+                       engine: Optional[str] = None,
+                       gating: Optional[str] = None
                        ) -> BenchmarkRun:
     """Run one benchmark under one interconnect; returns measured numbers.
 
@@ -108,10 +110,14 @@ def simulate_benchmark(interconnect: InterconnectConfig, benchmark: str,
     seed, and the degradation counters land in the run's extra stats.
     ``telemetry`` observes the run (events + metrics) without changing
     any reproduced number -- traced and untraced runs are bit-identical.
+    ``gating`` (a gating-policy string, see :mod:`repro.power`) enables
+    dynamic plane power management; its counters join the extras and
+    the leakage figure becomes state-weighted.
     """
     cpu = build_processor(interconnect, benchmark, num_clusters, seed,
                           latency_scale, config, fault_spec=fault_spec,
-                          telemetry=telemetry, engine=engine)
+                          telemetry=telemetry, engine=engine,
+                          gating=gating)
     if telemetry is not None and telemetry.enabled:
         telemetry.emit(cpu.cycle, EventKind.RUN_START, {
             "benchmark": benchmark,
@@ -127,6 +133,13 @@ def simulate_benchmark(interconnect: InterconnectConfig, benchmark: str,
             "cycles": stats.cycles,
         })
     degradation = cpu.network.degradation_report()
+    power = cpu.network.power
+    power_extra = () if power is None else (
+        ("plane_wakes", float(power.total_wakes())),
+        ("plane_gate_events", float(power.total_gate_entries())),
+        ("gated_wire_cycle_share", power.gated_share(stats.cycles)),
+        ("wake_energy", power.wake_energy()),
+    )
     return BenchmarkRun(
         benchmark=benchmark,
         instructions=stats.committed,
@@ -155,7 +168,7 @@ def simulate_benchmark(interconnect: InterconnectConfig, benchmark: str,
             ("degraded_selections",
              float(degradation.degraded_selections)),
             ("planes_killed", float(degradation.planes_killed)),
-        ),
+        ) + power_extra,
     )
 
 
@@ -167,14 +180,15 @@ def simulate_model(model: InterconnectModel,
                    latency_scale: float = 1.0,
                    fault_spec: FaultSpecLike = None,
                    telemetry: Optional[Telemetry] = None,
-                   engine: Optional[str] = None) -> ModelResult:
+                   engine: Optional[str] = None,
+                   gating: Optional[str] = None) -> ModelResult:
     """Run a whole benchmark suite under one interconnect model."""
     names = tuple(benchmarks) if benchmarks is not None else BENCHMARK_NAMES
     runs = tuple(
         simulate_benchmark(
             model.config, name, instructions, warmup,
             num_clusters, seed, latency_scale, fault_spec=fault_spec,
-            telemetry=telemetry, engine=engine,
+            telemetry=telemetry, engine=engine, gating=gating,
         )
         for name in names
     )

@@ -6,9 +6,24 @@ import csv
 import io
 from typing import Dict, Tuple
 
+from ..core.metrics import DYNAMIC_SHARE, LEAKAGE_SHARE
 from .pareto import dominance_ranks
 from .search import ExploreResult
 from .space import PointMetrics
+
+
+def leakage_share(metric: PointMetrics) -> float:
+    """Leakage's share of the point's interconnect energy, in [0, 1].
+
+    Guarded against the zero-traffic case: a point whose planes carried
+    no traffic (or whose baseline normalization collapsed both energy
+    components to zero) reports a 0.0 share instead of raising
+    ZeroDivisionError.
+    """
+    leak = LEAKAGE_SHARE * metric.rel_leakage
+    total = DYNAMIC_SHARE * metric.rel_dynamic + leak
+    return leak / total if total else 0.0
+
 
 _COLUMNS = (
     ("design point", lambda m: m.point.encode()),
@@ -18,6 +33,8 @@ _COLUMNS = (
     ("energy", lambda m: f"{m.energy:.1f}"),
     ("ED2", lambda m: f"{m.ed2:.1f}"),
     ("area mm2", lambda m: f"{m.area_mm2:.3f}"),
+    ("gating", lambda m: m.point.gating or "always-on"),
+    ("leak share", lambda m: f"{leakage_share(m):.3f}"),
 )
 
 
@@ -60,11 +77,12 @@ def frontier_table(result: ExploreResult) -> str:
     return "\n".join(lines)
 
 
-#: CSV column order (kept stable: downstream notebooks parse this).
+#: CSV column order (kept stable: downstream notebooks parse this --
+#: new columns are appended at the end only).
 CSV_FIELDS: Tuple[str, ...] = (
     "design_point", "node", "topology", "mix", "ipc", "rel_delay",
     "rel_dynamic", "rel_leakage", "energy", "ed2", "area_mm2",
-    "dominance_rank", "on_frontier",
+    "dominance_rank", "on_frontier", "gating", "leakage_share",
 )
 
 
@@ -93,5 +111,7 @@ def to_csv(result: ExploreResult) -> str:
             "area_mm2": f"{metric.area_mm2:.6f}",
             "dominance_rank": ranks[metric],
             "on_frontier": int(metric in frontier),
+            "gating": point.gating,
+            "leakage_share": f"{leakage_share(metric):.6f}",
         })
     return buffer.getvalue()

@@ -33,6 +33,7 @@ from typing import (
 from ..core.metrics import DYNAMIC_SHARE, LEAKAGE_SHARE, BenchmarkRun
 from ..harness.profiling import NULL_PROFILER, HarnessProfiler
 from ..harness.runner import ExperimentPlan, RunFailure, SweepReport
+from ..power import GatingPolicy, GatingSpecError
 from ..wires import (
     CANONICAL_SPECS,
     FREQ_BASE_GHZ,
@@ -60,6 +61,10 @@ class SearchSpace:
     Wire options are bidirectional totals; a ``0`` option means "no
     plane of that class".  Mixes with no bulk-capable plane (B, PW or
     W) are excluded up front -- they cannot carry full-width traffic.
+    ``gating_policies`` is the plane power-management axis: canonical
+    gating-policy strings (see :mod:`repro.power`), where ``""`` keeps
+    every plane always on.  The default sweeps only the ungated
+    configuration, so pre-gating spaces are unchanged.
     """
 
     nodes: Tuple[int, ...]
@@ -67,6 +72,7 @@ class SearchSpace:
     pw_options: Tuple[int, ...] = (0, 288)
     l_options: Tuple[int, ...] = (0, 36)
     topologies: Tuple[str, ...] = ("xbar4",)
+    gating_policies: Tuple[str, ...] = ("",)
 
     def __post_init__(self) -> None:
         if not self.nodes:
@@ -76,6 +82,24 @@ class SearchSpace:
                 raise ValueError(
                     f"unknown topology {topology!r}; choose from "
                     f"{', '.join(sorted(TOPOLOGIES))}"
+                )
+        if not self.gating_policies:
+            raise ValueError(
+                "search space needs at least one gating policy "
+                "(use \"\" for always-on planes)"
+            )
+        for gating in self.gating_policies:
+            if not gating:
+                continue
+            try:
+                policy = GatingPolicy.parse(gating)
+            except GatingSpecError as exc:
+                raise ValueError(f"bad gating policy: {exc}") from None
+            canonical = "" if policy.is_never else policy.canonical()
+            if canonical != gating:
+                raise ValueError(
+                    f"gating policy {gating!r} is not canonical; "
+                    f"use {canonical!r}"
                 )
 
     def _axes(self) -> Tuple[Tuple[WireClass, Tuple[int, ...]], ...]:
@@ -96,10 +120,11 @@ class SearchSpace:
         points: List[DesignPoint] = []
         for node in self.nodes:
             for topology in self.topologies:
-                for mix in self._mixes():
-                    points.append(DesignPoint.from_mix(
-                        node, mix, topology,
-                    ))
+                for gating in self.gating_policies:
+                    for mix in self._mixes():
+                        points.append(DesignPoint.from_mix(
+                            node, mix, topology, gating=gating,
+                        ))
         points.sort(key=DesignPoint.encode)
         return tuple(points)
 
@@ -123,8 +148,8 @@ class SearchSpace:
         """Points one grid step away on exactly one axis.
 
         Axes are the node (within :attr:`nodes`), each wire-class count
-        (within its options) and the topology.  Invalid mixes (no bulk
-        plane) are skipped.
+        (within its options), the topology and the gating policy.
+        Invalid mixes (no bulk plane) are skipped.
         """
         mix = point.wire_mapping()
         results: Set[DesignPoint] = set()
@@ -140,9 +165,15 @@ class SearchSpace:
             return out
 
         for node in nudged(self.nodes, point.node):
-            results.add(DesignPoint.from_mix(node, mix, point.topology))
+            results.add(DesignPoint.from_mix(node, mix, point.topology,
+                                             gating=point.gating))
         for topology in nudged(self.topologies, point.topology):
-            results.add(DesignPoint.from_mix(point.node, mix, topology))
+            results.add(DesignPoint.from_mix(point.node, mix, topology,
+                                             gating=point.gating))
+        for gating in nudged(self.gating_policies, point.gating):
+            results.add(DesignPoint.from_mix(point.node, mix,
+                                             point.topology,
+                                             gating=gating))
         for wire_class, options in self._axes():
             for count in nudged(options, mix.get(wire_class, 0)):
                 new_mix = dict(mix)
@@ -153,6 +184,7 @@ class SearchSpace:
                 if self._mix_valid(new_mix):
                     results.add(DesignPoint.from_mix(
                         point.node, new_mix, point.topology,
+                        gating=point.gating,
                     ))
         return tuple(sorted(results, key=DesignPoint.encode))
 
@@ -233,18 +265,31 @@ def _aggregate(point: DesignPoint, settings: EvaluationSettings,
     return total
 
 
+def _safe_ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator``, or 0.0 for an empty denominator.
+
+    Zero-traffic baselines (e.g. a gated-out plane that never carried a
+    transfer, or a degenerate zero-cycle window) must report a zero
+    share, not raise ZeroDivisionError.
+    """
+    return numerator / denominator if denominator else 0.0
+
+
 def _point_metrics(point: DesignPoint, total: _Aggregate,
                    base: _Aggregate,
                    settings: EvaluationSettings) -> PointMetrics:
     """Normalize one point against the 45 nm Model I baseline."""
     scaling = node_scaling(point.node)
     freq_ratio = scaling.frequency_ghz / FREQ_BASE_GHZ
-    rel_delay = (total.cycles / freq_ratio) / base.cycles
-    rel_dynamic = (total.dynamic * scaling.dynamic_scale) / base.dynamic
+    rel_delay = _safe_ratio(total.cycles / freq_ratio, base.cycles)
+    rel_dynamic = _safe_ratio(total.dynamic * scaling.dynamic_scale,
+                              base.dynamic)
     # Leakage energy = leakage power x time; the simulator reports
     # wire-cycles, and a cycle shrinks with the node's clock.
-    rel_leakage = (total.leakage * scaling.leakage_scale / freq_ratio) \
-        / base.leakage
+    rel_leakage = _safe_ratio(
+        total.leakage * scaling.leakage_scale / freq_ratio,
+        base.leakage,
+    )
     fraction = settings.interconnect_fraction
     energy = 100.0 * (1.0 - fraction) + 100.0 * fraction * (
         DYNAMIC_SHARE * rel_dynamic + LEAKAGE_SHARE * rel_leakage

@@ -19,6 +19,7 @@ from ..core.models import (
     parse_design_point,
 )
 from ..harness.runner import ExperimentPlan
+from ..power import GatingPolicy
 from ..wires import WireClass, node_scaling
 from ..wires.scaling import _check_node
 
@@ -41,9 +42,21 @@ class DesignPoint:
     wires: Tuple[Tuple[str, int], ...]
     topology: str = "xbar4"
     cache_width_factor: int = 2
+    #: Canonical gating-policy string ("" = always-on planes); a sweep
+    #: axis like the others, but reaching the cache key through
+    #: ``ExperimentPlan.gating_policy`` rather than the model name.
+    gating: str = ""
 
     def __post_init__(self) -> None:
         _check_node(self.node)
+        if self.gating:
+            policy = GatingPolicy.parse(self.gating)
+            canonical = "" if policy.is_never else policy.canonical()
+            if canonical != self.gating:
+                raise ValueError(
+                    f"gating policy {self.gating!r} is not canonical; "
+                    f"use {canonical!r}"
+                )
         if self.topology not in TOPOLOGIES:
             raise ValueError(
                 f"unknown topology {self.topology!r}; choose from "
@@ -75,7 +88,8 @@ class DesignPoint:
     @classmethod
     def from_mix(cls, node: int, wires: Mapping[WireClass, int],
                  topology: str = "xbar4",
-                 cache_width_factor: int = 2) -> "DesignPoint":
+                 cache_width_factor: int = 2,
+                 gating: str = "") -> "DesignPoint":
         """Build a point from a class->count mapping, canonicalized."""
         pairs = tuple(
             (wc.value, wires[wc])
@@ -85,7 +99,7 @@ class DesignPoint:
             unknown = set(wires) - set(DESIGN_POINT_CLASS_ORDER)
             raise ValueError(f"unknown wire classes: {unknown}")
         return cls(node=node, wires=pairs, topology=topology,
-                   cache_width_factor=cache_width_factor)
+                   cache_width_factor=cache_width_factor, gating=gating)
 
     def wire_mapping(self) -> Dict[WireClass, int]:
         return {WireClass(value): count for value, count in self.wires}
@@ -103,24 +117,40 @@ class DesignPoint:
     def encode(self) -> str:
         """Canonical identity string, e.g. ``dp@n32:B144+L36:cw2|xbar4``.
 
-        Injective over (node, mix, cache width, topology); everything
-        except the topology is exactly the model name, and the topology
-        is pinned separately because it reaches the cache key through
-        ``num_clusters`` rather than the model name.
+        Injective over (node, mix, cache width, topology, gating);
+        everything except the topology and gating policy is exactly the
+        model name, and those two are pinned separately because they
+        reach the cache key through ``num_clusters`` /
+        ``gating_policy`` rather than the model name.  Gated points
+        append ``|g=<policy>``; ungated encodings stay byte-identical
+        to their pre-gating spellings.
         """
-        return f"{self.model_name()}|{self.topology}"
+        base = f"{self.model_name()}|{self.topology}"
+        if self.gating:
+            return f"{base}|g={self.gating}"
+        return base
 
     @classmethod
     def decode(cls, text: str) -> "DesignPoint":
         """Inverse of :meth:`encode`; rejects non-canonical spellings."""
-        model_part, sep, topology = text.partition("|")
+        model_part, sep, rest = text.partition("|")
         if not sep:
             raise ValueError(
                 f"malformed design-point encoding {text!r}; expected "
-                f"'<model-name>|<topology>'"
+                f"'<model-name>|<topology>[|g=<gating>]'"
             )
+        topology, sep, gating_part = rest.partition("|")
+        gating = ""
+        if sep:
+            if not gating_part.startswith("g="):
+                raise ValueError(
+                    f"malformed design-point encoding {text!r}; the "
+                    f"third segment must be 'g=<gating-policy>'"
+                )
+            gating = gating_part[2:]
         node, wires, cache_width_factor = parse_design_point(model_part)
-        return cls.from_mix(node, wires, topology, cache_width_factor)
+        return cls.from_mix(node, wires, topology, cache_width_factor,
+                            gating=gating)
 
     def latency_scale(self) -> float:
         """The node's wire-latency multiplier, exactly 1.0 at 45 nm."""
@@ -141,6 +171,7 @@ class DesignPoint:
                 instructions=instructions,
                 warmup=warmup,
                 seed=seed,
+                gating_policy=self.gating,
             )
             for benchmark in benchmarks
         )

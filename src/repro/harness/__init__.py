@@ -17,6 +17,13 @@ from .formatting import (
 )
 from .backoff import DecorrelatedJitter, backoff_seed, jitter_delays
 from .paperdata import PAPER_CLAIMS, PAPER_TABLE3, PAPER_TABLE4
+from .powersweep import (
+    DEFAULT_GATING_SCENARIOS,
+    GatingScenario,
+    PowerSweepResult,
+    render_powersweep,
+    run_powersweep,
+)
 from .profiling import NULL_PROFILER, HarnessProfiler
 from .runner import (
     CACHE_VERSION,
@@ -52,6 +59,11 @@ __all__ = [
     "FaultSweepResult",
     "render_faultsweep",
     "run_faultsweep",
+    "DEFAULT_GATING_SCENARIOS",
+    "GatingScenario",
+    "PowerSweepResult",
+    "render_powersweep",
+    "run_powersweep",
     "percent_delta",
     "render_bar_chart",
     "render_table",

@@ -70,10 +70,14 @@ def run_faultsweep(runner: Optional[ExperimentRunner] = None,
                    instructions: int = DEFAULT_INSTRUCTIONS,
                    warmup: int = DEFAULT_WARMUP,
                    seed: int = 42,
+                   gating_policy: str = "",
                    workers: Optional[int] = None) -> FaultSweepResult:
     """Sweep ``model_name`` across the fault scenarios.
 
-    Uses :meth:`ExperimentRunner.run_many_report`, so a scenario whose
+    ``gating_policy`` (optional, canonical string) applies one plane
+    gating configuration to every scenario, so degradation can be
+    measured on a power-managed interconnect.  Uses
+    :meth:`ExperimentRunner.run_many_report`, so a scenario whose
     worker crashes or times out drops into the report's failure manifest
     instead of sinking the whole sweep.
     """
@@ -86,6 +90,7 @@ def run_faultsweep(runner: Optional[ExperimentRunner] = None,
                 num_clusters=num_clusters, instructions=instructions,
                 warmup=warmup, seed=seed,
                 fault_spec=scenario.canonical(),
+                gating_policy=gating_policy,
             )
             for bench in names
         ]

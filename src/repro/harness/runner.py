@@ -67,7 +67,7 @@ from .backoff import DecorrelatedJitter
 from .profiling import NULL_PROFILER, HarnessProfiler
 
 #: Bump when simulator changes invalidate cached results.
-CACHE_VERSION = 5
+CACHE_VERSION = 6
 
 #: Bump when the :meth:`SweepReport.to_json` wire format changes.
 REPORT_SCHEMA_VERSION = 1
@@ -97,12 +97,16 @@ class ExperimentPlan:
     #: Canonical fault-spec string ("" = healthy wires); see
     #: :meth:`repro.faults.FaultSpec.canonical`.
     fault_spec: str = ""
+    #: Canonical gating-policy string ("" = always-on planes); see
+    #: :meth:`repro.power.GatingPolicy.canonical`.
+    gating_policy: str = ""
 
     def cache_key(self) -> str:
         payload = json.dumps(
             [CACHE_VERSION, self.model_name, self.benchmark,
              self.num_clusters, self.latency_scale, self.instructions,
-             self.warmup, self.seed, self.policy_tag, self.fault_spec],
+             self.warmup, self.seed, self.policy_tag, self.fault_spec,
+             self.gating_policy],
             sort_keys=True,
         )
         return hashlib.sha256(payload.encode()).hexdigest()[:24]
@@ -112,6 +116,8 @@ class ExperimentPlan:
                 f"({self.num_clusters}cl, x{self.latency_scale:g}, "
                 f"{self.instructions}i, tag={self.policy_tag}"
                 + (f", faults={self.fault_spec}" if self.fault_spec else "")
+                + (f", gating={self.gating_policy}"
+                   if self.gating_policy else "")
                 + ")")
 
     def to_dict(self) -> Dict[str, object]:
@@ -160,6 +166,7 @@ _PLAN_FIELD_TYPES: Dict[str, tuple] = {
     "seed": (int,),
     "policy_tag": (str,),
     "fault_spec": (str,),
+    "gating_policy": (str,),
 }
 
 
@@ -378,6 +385,7 @@ def _execute_plan(
         num_clusters=plan.num_clusters, seed=plan.seed,
         latency_scale=plan.latency_scale,
         fault_spec=plan.fault_spec or None,
+        gating=plan.gating_policy or None,
     )
     return run, time.perf_counter() - start
 

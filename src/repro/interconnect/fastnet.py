@@ -141,6 +141,11 @@ class BatchedNetwork(Network):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.stats = BatchedStats(specs=self.composition.specs_map())
+        if self.power is not None:
+            # DESIGN §15 flush contract: fold the grant tally at every
+            # power-state transition so the accounting order around a
+            # transition matches the scalar network bit-for-bit.
+            self.power.on_transition = self.stats.flush
         #: Per-kind arrival dispatch for pooled (callback-free)
         #: transfers; installed by the event core.
         self._final_handlers: Dict[TransferKind, Handler] = {}
@@ -169,9 +174,10 @@ class BatchedNetwork(Network):
 
     def submit(self, transfer: Transfer, cycle: int) -> None:
         if (self._pending_kills or self._dead or self.injector is not None
-                or self.telemetry.enabled):
-            # Degraded, fault-injected or traced runs take the scalar
-            # submission path verbatim (counting segments for pooling).
+                or self.power is not None or self.telemetry.enabled):
+            # Degraded, fault-injected, power-gated or traced runs take
+            # the scalar submission path verbatim (counting segments
+            # for pooling).
             if getattr(transfer, "_pooled", False):
                 self._counting = True
                 self._count = 0
@@ -294,7 +300,7 @@ class BatchedNetwork(Network):
     def tick(self, cycle: int) -> None:
         if (self._pending_kills or self._retries or self._dead
                 or self._ber_active or self.injector is not None
-                or self.telemetry.enabled):
+                or self.power is not None or self.telemetry.enabled):
             super().tick(cycle)
             return
         active = self._fast_active

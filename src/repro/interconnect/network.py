@@ -39,6 +39,7 @@ import heapq
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
+from ..power import GatingPolicy, PlanePowerManager, parse_gating
 from ..telemetry import NULL_TELEMETRY, EventKind, Telemetry
 from ..wires import WireClass
 from .errors import ConfigError, UnroutableError
@@ -111,7 +112,8 @@ class Network:
     def __init__(self, topology: Topology, composition: LinkComposition,
                  flags: Optional[PolicyFlags] = None,
                  injector: Optional["FaultInjector"] = None,
-                 telemetry: Optional[Telemetry] = None) -> None:
+                 telemetry: Optional[Telemetry] = None,
+                 gating: "str | GatingPolicy | None" = None) -> None:
         self.topology = topology
         self.composition = composition
         self.telemetry = telemetry if telemetry is not None \
@@ -120,6 +122,13 @@ class Network:
                                           telemetry=self.telemetry)
         self.stats = InterconnectStats(specs=composition.specs_map())
         self.injector = injector
+        # Gating: ``None``/""/"never" build no manager at all, keeping
+        # ungated runs on the exact pre-gating code path.
+        policy = parse_gating(gating)
+        self.power: Optional[PlanePowerManager] = None
+        if policy is not None:
+            self.power = PlanePowerManager(topology, composition, policy,
+                                           telemetry=self.telemetry)
         # Per (out-channel, plane) FIFO queues; only non-empty ones are in
         # ``_active`` so an idle network costs nothing per tick.
         self._queues: Dict[Tuple[str, WireClass], List[_Queued]] = {}
@@ -172,6 +181,15 @@ class Network:
             self._activate_kills(cycle)
         if self._dead:
             avoid = self._dead_planes_on(path.channels)
+        power = self.power
+        if power is not None:
+            # Sleeping planes join the avoid set through the same
+            # degraded-selection machinery dead planes use; demanded
+            # ones start their wake-up here.
+            avoid = power.route_avoid(
+                path.channels, cycle,
+                self.selector.demand_planes(transfer), avoid,
+            )
         segments = self.selector.select(transfer, cycle, avoid=avoid)
         if len(segments) > 1:
             self.stats.split_transfers += 1
@@ -185,6 +203,8 @@ class Network:
                     f"({self.composition.describe()}) has no such plane"
                 )
             self.selector.record_injection(cycle, wire_class)
+            if power is not None:
+                power.note_activity(path.channels, wire_class, cycle)
             tel = self.telemetry
             if tel.enabled:
                 tel.count("network.segments_routed")
@@ -273,6 +293,9 @@ class Network:
     def _reroute(self, item: _Queued, cycle: int) -> None:
         """Move a stranded segment onto a surviving plane."""
         avoid = self._dead_planes_on(item.path_channels)
+        if self.power is not None:
+            avoid = self.power.route_avoid(item.path_channels, cycle,
+                                           _NO_AVOID, avoid)
         wire_class = self._surviving_plane(item, avoid)
         tel = self.telemetry
         if tel.enabled:
@@ -290,6 +313,8 @@ class Network:
         item.attempt = 0
         self.stats.degraded_reroutes += 1
         self.selector.record_injection(cycle, wire_class)
+        if self.power is not None:
+            self.power.note_activity(item.path_channels, wire_class, cycle)
         self._enqueue((item.path_channels[0], wire_class), item)
 
     def _surviving_plane(self, item: _Queued,
@@ -565,6 +590,8 @@ class Network:
         return inventory
 
     def leakage_energy(self, cycles: int) -> float:
+        if self.power is not None:
+            return self.power.leakage_energy(cycles)
         return leakage_energy(self.wire_inventory(), cycles,
                               specs=self.composition.specs_map())
 

@@ -39,6 +39,9 @@ from .message import (
 )
 from .plane import LinkComposition
 
+_L_ONLY: FrozenSet[WireClass] = frozenset((WireClass.L,))
+_PW_ONLY: FrozenSet[WireClass] = frozenset((WireClass.PW,))
+
 
 @dataclass(frozen=True)
 class PolicyFlags:
@@ -228,6 +231,42 @@ class WireSelector:
 
         return ("bulk",
                 [self._bulk_segment(transfer.bits, transfer, cycle, avoid)])
+
+    def demand_planes(self, transfer: Transfer) -> FrozenSet[WireClass]:
+        """Planes the unconstrained policy would pick for a transfer.
+
+        A side-effect-free mirror of :meth:`_plan` with no ``avoid``
+        set and the load-balance divert ignored: no counters move, the
+        imbalance detector is not consulted.  The power manager uses
+        this as the *demand* signal -- which sleeping planes a transfer
+        would want woken -- before the real (avoid-constrained)
+        selection runs.
+        """
+        kind = transfer.kind
+        flags = self.flags
+        if kind is TransferKind.MISPREDICT:
+            if flags.lwire_mispredict and self._has_l:
+                return _L_ONLY
+            return frozenset((self._bulk,))
+        if kind.is_address and flags.lwire_partial_address and self._has_l:
+            return frozenset((WireClass.L, self._bulk))
+        if (kind in (TransferKind.OPERAND, TransferKind.LOAD_DATA)
+                and flags.lwire_narrow and self._has_l
+                and transfer.narrow_predicted):
+            if transfer.narrow_actual:
+                return _L_ONLY
+            return frozenset((WireClass.L, self._bulk))
+        if (kind in (TransferKind.OPERAND, TransferKind.LOAD_DATA)
+                and flags.lwire_frequent_value and self._has_l
+                and transfer.fv_encodable):
+            return _L_ONLY
+        if (kind is TransferKind.OPERAND and transfer.ready_at_dispatch
+                and flags.pw_ready_operand and self._has_pw):
+            return _PW_ONLY
+        if (kind is TransferKind.STORE_DATA and flags.pw_store_data
+                and self._has_pw):
+            return _PW_ONLY
+        return frozenset((self._bulk,))
 
     # -- helpers ---------------------------------------------------------
 

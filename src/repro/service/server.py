@@ -50,6 +50,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 from ..core.models import MODEL_NAMES, is_design_point, parse_design_point
 from ..faults import FaultSpec, FaultSpecError
 from ..harness.backoff import DecorrelatedJitter, backoff_seed
+from ..power import GatingPolicy, GatingSpecError
 from ..harness.runner import (
     ExperimentPlan,
     ExperimentRunner,
@@ -487,6 +488,14 @@ class SweepService:
                 raise ValueError(f"bad fault_spec: {exc}") from None
             if canonical != plan.fault_spec:
                 plan = replace(plan, fault_spec=canonical)
+        if plan.gating_policy:
+            try:
+                gating = GatingPolicy.parse(plan.gating_policy)
+            except GatingSpecError as exc:
+                raise ValueError(f"bad gating_policy: {exc}") from None
+            canonical = "" if gating.is_never else gating.canonical()
+            if canonical != plan.gating_policy:
+                plan = replace(plan, gating_policy=canonical)
         return plan
 
     def _admit(self, payload: object

@@ -7,7 +7,7 @@ NACK/retransmission, a plane kill, a cache hit level -- is one
 tuple of attributes.  Events are immutable and JSON-serializable; the
 category mapping groups kinds into the buckets the Chrome-trace export
 and the sweep aggregation report on (``wire-selection``, ``overflow``,
-``fault``, ``cache``, ``network``, ``steering``, ``run``,
+``fault``, ``power``, ``cache``, ``network``, ``steering``, ``run``,
 ``service``).  The ``service`` kinds are emitted by the sweep job
 server (:mod:`repro.service`), which stamps them with a logical
 admission tick instead of a simulator cycle.
@@ -55,6 +55,13 @@ class EventKind(enum.Enum):
     RETRY_ESCALATION = "retry_escalation"
     #: A stranded segment was rerouted onto a surviving plane.
     REROUTE = "reroute"
+    #: A wire plane stepped down to a low-power state (attrs: link,
+    #: plane, state, cycle -- the *effective* transition cycle; the
+    #: event stamp is the cycle the lazy settler discovered it).
+    PLANE_GATED = "plane_gated"
+    #: A sleeping wire plane began (or was forced through) its wake-up
+    #: (attrs: link, plane, from, ready, forced).
+    PLANE_WOKEN = "plane_woken"
     #: A load was satisfied at some level of the memory hierarchy.
     CACHE_ACCESS = "cache_access"
     #: Sweep service: a job passed admission control onto the queue.
@@ -83,6 +90,8 @@ EVENT_CATEGORY: Dict[EventKind, str] = {
     EventKind.NACK_RETRY: "fault",
     EventKind.RETRY_ESCALATION: "fault",
     EventKind.REROUTE: "fault",
+    EventKind.PLANE_GATED: "power",
+    EventKind.PLANE_WOKEN: "power",
     EventKind.CACHE_ACCESS: "cache",
     EventKind.JOB_ADMITTED: "service",
     EventKind.JOB_RETRY: "service",

@@ -1,6 +1,8 @@
-# fixture-path: src/repro/core/demo.py
+# fixture-path: src/repro/power/demo.py
 import random
 
 
-def make_stream():
-    return random.Random(42)
+def decayed(ewma, idle):
+    # Dithered gate points are unreproducible across engines.
+    rng = random.Random(42)
+    return ewma * 0.5 ** (idle / 16.0) + rng.random() * 1e-6

@@ -1,6 +1,12 @@
-# fixture-path: src/repro/core/demo.py
+# fixture-path: src/repro/power/demo.py
 import random
 
 
-def make_stream(plan):
-    return random.Random(plan.seed)
+def decayed(ewma, idle):
+    # Closed-form decay: the gating path itself is RNG-free.
+    return ewma * 0.5 ** (idle / 16.0)
+
+
+def jittered(plan, ewma):
+    # When randomness is genuinely wanted, seed it from the plan.
+    return ewma + random.Random(plan.seed).random() * 1e-6

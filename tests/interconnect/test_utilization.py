@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.interconnect.fastnet import BatchedNetwork
 from repro.interconnect.message import Transfer, TransferKind
 from repro.interconnect.network import Network
 from repro.interconnect.plane import LinkComposition
@@ -9,9 +10,9 @@ from repro.interconnect.topology import CrossbarTopology
 from repro.wires import WireClass
 
 
-def make_network(wires=None):
+def make_network(wires=None, cls=Network, **kwargs):
     wires = wires or {WireClass.B: 144}
-    return Network(CrossbarTopology(4), LinkComposition(wires))
+    return cls(CrossbarTopology(4), LinkComposition(wires), **kwargs)
 
 
 def drive(net, transfers, cycles=20):
@@ -91,6 +92,40 @@ class TestUtilizationReport:
         out = [r for r in net.utilization_report()
                if r.channel == "c0:out"][0]
         assert out.utilization == pytest.approx(1.0)
+
+    def test_zero_traffic_with_explicit_window(self):
+        # Regression: a zero-traffic network asked about a concrete
+        # window must report an empty table, not divide by zero while
+        # normalizing utilization or leakage shares.
+        for cls in (Network, BatchedNetwork):
+            net = make_network(cls=cls)
+            assert net.utilization_report(cycles=100) == []
+
+    def test_zero_traffic_plane_is_absent_not_zero_divided(self):
+        # An idle plane (L carries nothing here) simply has no rows;
+        # the active plane's rows are unaffected.
+        for cls in (Network, BatchedNetwork):
+            net = make_network({WireClass.B: 144, WireClass.L: 36},
+                               cls=cls)
+            drive(net, [("c0", "c1", 0)])
+            report = net.utilization_report(cycles=10)
+            assert report
+            assert all(r.wire_class is WireClass.B for r in report)
+
+    def test_zero_traffic_reports_match_across_engines(self):
+        scalar = make_network()
+        event = make_network(cls=BatchedNetwork)
+        assert (scalar.utilization_report(cycles=50)
+                == event.utilization_report(cycles=50))
+
+    def test_gated_zero_traffic_network_reports_cleanly(self):
+        # Gating enabled but no traffic ever submitted: the power
+        # manager has nothing to settle and the report stays empty.
+        net = make_network({WireClass.B: 144, WireClass.L: 36},
+                           gating="idle:drowsy=8,gate=32")
+        assert net.utilization_report(cycles=100) == []
+        assert net.power.gated_share(0) == 0.0
+        assert net.power.leakage_energy(0) == 0.0
 
     def test_tie_order_independent_of_traffic_order(self):
         # Regression (simlint SIM104): equal-utilization rows used to
